@@ -1,0 +1,30 @@
+// Command hglist prints the emulated device inventory — the paper's
+// Table 1 — with the key calibrated behaviors of each profile.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"hgw"
+)
+
+func main() {
+	fmt.Printf("%-5s %-9s %-22s %-22s %7s %7s %7s %8s %6s\n",
+		"tag", "vendor", "model", "firmware", "udp1[s]", "udp2[s]", "udp3[s]", "tcp1", "maxTCP")
+	for _, p := range hgw.Devices() {
+		tcp1 := ""
+		if p.NAT.TCPEstablished == 0 {
+			tcp1 = ">24h"
+		} else {
+			tcp1 = fmt.Sprintf("%.0fm", p.NAT.TCPEstablished.Minutes())
+		}
+		fmt.Printf("%-5s %-9s %-22.22s %-22.22s %7.0f %7.0f %7.0f %8s %6d\n",
+			p.Tag, p.Vendor, p.Model, p.Firmware,
+			p.NAT.UDP.Outbound.Seconds(),
+			p.NAT.UDP.Inbound.Seconds(),
+			p.NAT.UDP.Bidir.Seconds(),
+			tcp1, p.NAT.MaxTCPBindings)
+	}
+	_ = time.Second
+}

@@ -1,0 +1,93 @@
+// Command hgprobe runs one of the paper's measurements against selected
+// gateway devices.
+//
+//	hgprobe -exp udp1 -tags je,ls1,owrt -iters 10
+//
+// Experiments: udp1 udp2 udp3 udp4 udp5 tcp1 tcp2 tcp4 icmp sctp dccp
+// dns quirks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hgw"
+)
+
+func main() {
+	exp := flag.String("exp", "udp1", "experiment id")
+	tags := flag.String("tags", "", "comma-separated device tags (default all)")
+	iters := flag.Int("iters", 3, "iterations per device")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	bytes := flag.Int("bytes", 8<<20, "transfer size for tcp2")
+	flag.Parse()
+
+	cfg := hgw.Config{Seed: *seed, Options: hgw.Options{Iterations: *iters, TransferBytes: *bytes}}
+	if *tags != "" {
+		cfg.Tags = strings.Split(*tags, ",")
+	}
+
+	switch *exp {
+	case "udp1":
+		fmt.Print(hgw.RunUDP1(cfg).Render(50, false))
+	case "udp2":
+		fmt.Print(hgw.RunUDP2(cfg).Render(50, false))
+	case "udp3":
+		fmt.Print(hgw.RunUDP3(cfg).Render(50, false))
+	case "udp4":
+		res := hgw.RunUDP4(cfg)
+		for _, r := range res {
+			fmt.Printf("%-5s %-22s src=%d observed=%v\n", r.Tag, r.Class, r.SourcePort, r.ObservedPorts)
+		}
+		pr, pn, np := hgw.UDP4Counts(res)
+		fmt.Printf("preserve+reuse=%d preserve+new=%d no-preservation=%d\n", pr, pn, np)
+	case "udp5":
+		figs := hgw.RunUDP5(cfg)
+		names := make([]string, 0, len(figs))
+		for n := range figs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Print(figs[n].Render(50, false))
+		}
+	case "tcp1":
+		fmt.Print(hgw.RunTCP1(cfg).Render(50, true))
+	case "tcp2", "tcp3":
+		res := hgw.RunThroughput(cfg)
+		fmt.Printf("%-5s %9s %9s %9s %9s %9s %9s\n", "tag", "up", "down", "biUp", "biDown", "dlyUp", "dlyDown")
+		for _, r := range res {
+			fmt.Printf("%-5s %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f\n",
+				r.Tag, r.UpMbps, r.DownMbps, r.BiUpMbps, r.BiDownMbps, r.DelayUpMs, r.DelayDownMs)
+		}
+	case "tcp4":
+		fmt.Print(hgw.RunTCP4(cfg).Render(50, true))
+	case "icmp":
+		m := hgw.RunICMP(cfg)
+		fmt.Print(hgw.Table2(m, nil, nil, nil))
+	case "sctp":
+		for _, r := range hgw.RunSCTP(cfg) {
+			fmt.Printf("%-5s sctp=%v\n", r.Tag, r.OK)
+		}
+	case "dccp":
+		for _, r := range hgw.RunDCCP(cfg) {
+			fmt.Printf("%-5s dccp=%v\n", r.Tag, r.OK)
+		}
+	case "dns":
+		for _, r := range hgw.RunDNS(cfg) {
+			fmt.Printf("%-5s udp=%v tcp-accept=%v tcp-answer=%v via-udp=%v\n",
+				r.Tag, r.UDPAnswers, r.TCPAccepts, r.TCPAnswers, r.TCPViaUDP)
+		}
+	case "quirks":
+		for _, r := range hgw.RunQuirks(cfg) {
+			fmt.Printf("%-5s ttl-dec=%v record-route=%v hairpin=%v same-mac=%v\n",
+				r.Tag, r.DecrementsTTL, r.RecordsRoute, r.Hairpins, r.SameMAC)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,44 @@
+// natclassify: a STUN-like behavioral classification of a single
+// device, combining the port-preservation/reuse probe (UDP-4), the
+// hairpinning check, the ICMP translation quality and the
+// unknown-protocol fallback — the properties that matter for NAT
+// traversal (paper §2 and §4.4).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"hgw"
+)
+
+func main() {
+	tag := flag.String("tag", "owrt", "device tag to classify")
+	flag.Parse()
+
+	cfg := hgw.Config{Tags: []string{*tag}, Options: hgw.Options{Iterations: 1}}
+
+	fmt.Printf("Classifying %s ...\n\n", *tag)
+	reuse := hgw.RunUDP4(cfg)[0]
+	quirk := hgw.RunQuirks(cfg)[0]
+	sctp := hgw.RunSCTP(cfg)[0]
+	icmp := hgw.RunICMP(cfg)[0]
+
+	fmt.Printf("port allocation:     %v (external ports %v for source %d)\n",
+		reuse.Class, reuse.ObservedPorts, reuse.SourcePort)
+	fmt.Printf("hairpinning:         %v\n", quirk.Hairpins)
+	fmt.Printf("TTL decremented:     %v\n", quirk.DecrementsTTL)
+	fmt.Printf("record route:        %v\n", quirk.RecordsRoute)
+	fmt.Printf("SCTP passes:         %v (IP-only translation fallback)\n", sctp.OK)
+
+	okICMP := 0
+	for _, v := range icmp.UDP {
+		if v.Forwarded() {
+			okICMP++
+		}
+	}
+	fmt.Printf("UDP ICMP forwarded:  %d/10 error kinds\n", okICMP)
+
+	good := reuse.Class == 0 && quirk.Hairpins
+	fmt.Printf("\n\"well-behaving\" NAT for hole punching (Ford et al.): %v\n", good)
+}

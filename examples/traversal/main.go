@@ -1,0 +1,35 @@
+// traversal: peer-to-peer NAT traversal, the application scenario of
+// the paper's related work (Ford et al., Guha & Francis). Two hosts,
+// each behind a different emulated home gateway, use the test server as
+// a rendezvous to learn their translated endpoints and then punch UDP
+// holes toward each other. Success hinges on the port behaviors the
+// paper measures in UDP-4: punching works between the 27 port-
+// preserving devices and fails when a non-preserving device (one of the
+// paper's 7) allocates an unpredictable external port.
+package main
+
+import (
+	"fmt"
+
+	"hgw"
+)
+
+func main() {
+	pairs := [][2]string{
+		{"owrt", "bu1"}, // both preserve ports
+		{"dl2", "dl6"},  // both preserve ports
+		{"owrt", "smc"}, // smc never preserves
+		{"ls1", "zy1"},  // neither preserves
+	}
+	fmt.Println("UDP hole punching across emulated gateway pairs:")
+	for i, p := range pairs {
+		r := hgw.RunHolePunch(p[0], p[1], int64(i))
+		verdict := "FAILED"
+		if r.Success {
+			verdict = "ok"
+		}
+		fmt.Printf("  %-5s <-> %-5s  %-6s  (observed externals %v / %v)\n",
+			r.TagA, r.TagB, verdict, r.ExtA, r.ExtB)
+	}
+	fmt.Println("\nPort preservation (measured by the paper's UDP-4 test) decides the outcome.")
+}

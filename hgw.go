@@ -1,0 +1,284 @@
+// Package hgw is a faithful reimplementation of the measurement system
+// from Hätönen et al., "An Experimental Study of Home Gateway
+// Characteristics" (ACM IMC 2010), with the paper's 34 hardware
+// gateways replaced by calibrated software emulations running on a
+// deterministic network simulator.
+//
+// The package exposes one entry point per experiment in the paper's
+// evaluation (Figures 2-10 and Table 2). Each runner builds the
+// Figure 1 testbed — test server, VLAN switches, emulated gateways,
+// test client — and executes the corresponding §3.2 methodology:
+//
+//	f := hgw.RunUDP1(hgw.Config{})          // Figure 3
+//	fmt.Print(f.Render(50, false))
+//
+// Lower-level building blocks (the simulator, packet codecs, transport
+// stacks, the NAT engine, the device profiles and the probers) live in
+// the internal packages; this facade is the supported API surface.
+package hgw
+
+import (
+	"runtime"
+	"sync"
+
+	"hgw/internal/gateway"
+	"hgw/internal/probe"
+	"hgw/internal/report"
+	"hgw/internal/sim"
+	"hgw/internal/testbed"
+)
+
+// Re-exported result and configuration types.
+type (
+	// Options tunes probe executions (iterations, search resolution,
+	// transfer sizes).
+	Options = probe.Options
+	// DeviceResult is a per-device series of repeated measurements.
+	DeviceResult = probe.DeviceResult
+	// Figure is a rendered population result (devices ordered by
+	// ascending median, like the paper's plots).
+	Figure = report.Figure
+	// Throughput is a TCP-2/TCP-3 result for one device.
+	Throughput = probe.Throughput
+	// ICMPMatrix is one device's Table 2 ICMP section.
+	ICMPMatrix = probe.ICMPMatrix
+	// ConnResult is a pass/fail connectivity result (SCTP/DCCP).
+	ConnResult = probe.ConnResult
+	// DNSResult is a DNS proxy test result.
+	DNSResult = probe.DNSResult
+	// PortReuseResult is a UDP-4 observation.
+	PortReuseResult = probe.PortReuseResult
+	// QuirkResult reports the §4.4 IP-layer quirks.
+	QuirkResult = probe.QuirkResult
+	// Profile describes one emulated gateway model.
+	Profile = gateway.Profile
+	// Testbed is the assembled Figure 1 environment, for custom
+	// experiments beyond the paper's set.
+	Testbed = testbed.Testbed
+	// Node is one gateway under test within a Testbed.
+	Node = testbed.Node
+	// Sim is the discrete-event simulator driving a Testbed.
+	Sim = sim.Sim
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Tags selects gateways by their paper tag (default: all 34).
+	Tags []string
+	// Seed makes runs reproducible; runs with equal seeds are identical.
+	Seed int64
+	// Options tunes the probes.
+	Options Options
+}
+
+// Devices returns the 34 emulated gateway profiles (the paper's
+// Table 1).
+func Devices() []Profile { return gateway.Profiles() }
+
+// DeviceTags returns the 34 device tags.
+func DeviceTags() []string { return gateway.Tags() }
+
+// NewTestbed builds and boots a testbed for custom experiments.
+func NewTestbed(cfg Config) (*Testbed, *Sim) {
+	return testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
+}
+
+func run(cfg Config, f func(tb *testbed.Testbed, s *sim.Sim) []DeviceResult) []DeviceResult {
+	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
+	return f(tb, s)
+}
+
+// RunUDP1 measures UDP binding timeouts after a solitary outbound
+// packet (Figure 3), in seconds.
+func RunUDP1(cfg Config) Figure {
+	res := run(cfg, func(tb *testbed.Testbed, s *sim.Sim) []DeviceResult {
+		return probe.UDPTimeouts(tb, s, probe.UDPSolitary, 0, cfg.Options)
+	})
+	return report.NewFigure("UDP-1: single packet, outbound only (Figure 3)", "sec", res)
+}
+
+// RunUDP2 measures UDP binding timeouts with inbound refresh traffic
+// (Figure 4), in seconds.
+func RunUDP2(cfg Config) Figure {
+	res := run(cfg, func(tb *testbed.Testbed, s *sim.Sim) []DeviceResult {
+		return probe.UDPTimeouts(tb, s, probe.UDPInbound, 0, cfg.Options)
+	})
+	return report.NewFigure("UDP-2: single packet out, multiple packets in (Figure 4)", "sec", res)
+}
+
+// RunUDP3 measures UDP binding timeouts with bidirectional traffic
+// (Figure 5), in seconds.
+func RunUDP3(cfg Config) Figure {
+	res := run(cfg, func(tb *testbed.Testbed, s *sim.Sim) []DeviceResult {
+		return probe.UDPTimeouts(tb, s, probe.UDPEcho, 0, cfg.Options)
+	})
+	return report.NewFigure("UDP-3: multiple packets out- and inbound (Figure 5)", "sec", res)
+}
+
+// RunUDP4 classifies port preservation and expired-binding reuse
+// (§4.1's UDP-4 counts).
+func RunUDP4(cfg Config) []PortReuseResult {
+	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
+	return probe.PortReuse(tb, s, cfg.Options)
+}
+
+// UDP4Counts tallies UDP-4 classes like the paper's prose (27 preserve,
+// of which 23 reuse and 4 rebind; 7 never preserve).
+func UDP4Counts(results []PortReuseResult) (preserveReuse, preserveNew, noPreserve int) {
+	for _, r := range results {
+		switch r.Class {
+		case probe.PreserveAndReuse:
+			preserveReuse++
+		case probe.PreserveNewBinding:
+			preserveNew++
+		default:
+			noPreserve++
+		}
+	}
+	return
+}
+
+// RunUDP5 measures per-service binding timeouts (Figure 6): one Figure
+// per well-known port, keyed by service name (dns, http, ntp, snmp,
+// tftp).
+func RunUDP5(cfg Config) map[string]Figure {
+	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
+	raw := probe.UDP5(tb, s, cfg.Options)
+	out := make(map[string]Figure, len(raw))
+	for name, res := range raw {
+		out[name] = report.NewFigure("UDP-5 ("+name+")", "sec", res)
+	}
+	return out
+}
+
+// RunTCP1 measures idle TCP binding timeouts (Figure 7), in minutes;
+// values at the 24-hour cut-off mean "longer than 24 h".
+func RunTCP1(cfg Config) Figure {
+	res := run(cfg, func(tb *testbed.Testbed, s *sim.Sim) []DeviceResult {
+		return probe.TCPTimeouts(tb, s, cfg.Options)
+	})
+	return report.NewFigure("TCP-1: TCP binding timeouts (Figure 7)", "min", res)
+}
+
+// RunThroughput runs the TCP-2 bulk transfers and the TCP-3 embedded-
+// timestamp delay measurement for each selected device, one at a time
+// on fresh testbeds (as the paper does), parallelized across real CPUs.
+func RunThroughput(cfg Config) []Throughput {
+	tags := cfg.Tags
+	if len(tags) == 0 {
+		tags = gateway.Tags()
+	}
+	results := make([]Throughput, len(tags))
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for i, tag := range tags {
+		i, tag := i, tag
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = probe.MeasureThroughput(tag, cfg.Options, cfg.Seed)
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// RunTCP4 measures the maximum number of concurrent TCP bindings to a
+// single server port (Figure 10).
+func RunTCP4(cfg Config) Figure {
+	res := run(cfg, func(tb *testbed.Testbed, s *sim.Sim) []DeviceResult {
+		return probe.MaxBindings(tb, s, cfg.Options)
+	})
+	return report.NewFigure("TCP-4: max bindings to a single server port (Figure 10)", "count", res)
+}
+
+// RunICMP measures the ICMP error translation matrix (Table 2).
+func RunICMP(cfg Config) []ICMPMatrix {
+	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
+	return probe.ICMPMatrixProbe(tb, s, cfg.Options)
+}
+
+// RunSCTP tests SCTP association establishment (Table 2).
+func RunSCTP(cfg Config) []ConnResult {
+	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
+	return probe.SCTPConnect(tb, s, cfg.Options)
+}
+
+// RunDCCP tests DCCP connection establishment (Table 2).
+func RunDCCP(cfg Config) []ConnResult {
+	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
+	return probe.DCCPConnect(tb, s, cfg.Options)
+}
+
+// RunDNS tests each gateway's DNS proxy over UDP and TCP (Table 2).
+func RunDNS(cfg Config) []DNSResult {
+	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
+	return probe.DNSProxy(tb, s, cfg.Options)
+}
+
+// RunQuirks probes the §4.4 IP-layer quirks.
+func RunQuirks(cfg Config) []QuirkResult {
+	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
+	return probe.IPQuirks(tb, s, cfg.Options)
+}
+
+// RunBindRate measures UDP binding-creation rates (the paper's §5
+// future-work item), in bindings per second.
+func RunBindRate(cfg Config) Figure {
+	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
+	res := probe.BindRate(tb, s, 2e9, cfg.Options) // 2 s of virtual time
+	return report.NewFigure("Binding-creation rate (§5 future work)", "bindings/sec", res)
+}
+
+// KeepaliveResult and HolePunchResult re-exports.
+type (
+	// KeepaliveResult reports whether 2-hour TCP keepalives held a
+	// binding through one device.
+	KeepaliveResult = probe.KeepaliveResult
+	// HolePunchResult reports a UDP hole-punching attempt between two
+	// NATed hosts.
+	HolePunchResult = probe.HolePunchResult
+)
+
+// RunKeepalive tests §4.4's observation that RFC 1122's 2-hour minimum
+// TCP keepalive interval cannot reliably hold NAT bindings: each
+// device's connection idles for 6 hours with 2-hour keepalives.
+func RunKeepalive(cfg Config) []KeepaliveResult {
+	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
+	return probe.KeepaliveSurvival(tb, s, 0, 0, cfg.Options)
+}
+
+// RunHolePunch attempts UDP hole punching between one host behind
+// gateway tagA and one behind tagB (related work §2, Ford et al.).
+func RunHolePunch(tagA, tagB string, seed int64) HolePunchResult {
+	return probe.HolePunch(tagA, tagB, seed)
+}
+
+// Table2 renders the Table 2 dot matrix from its component results.
+func Table2(matrices []ICMPMatrix, sctp, dccp []ConnResult, dns []DNSResult) string {
+	return report.Table2(matrices, sctp, dccp, dns)
+}
+
+// ThroughputFigures splits throughput results into the four series of
+// Figure 8 (and the delay results into Figure 9's series).
+func ThroughputFigures(results []Throughput) (fig8, fig9 map[string]map[string]float64) {
+	fig8 = map[string]map[string]float64{
+		"Upload": {}, "Download": {}, "Up|Down": {}, "Down|Up": {},
+	}
+	fig9 = map[string]map[string]float64{
+		"Upload": {}, "Download": {}, "Up|Down": {}, "Down|Up": {},
+	}
+	for _, r := range results {
+		fig8["Upload"][r.Tag] = r.UpMbps
+		fig8["Download"][r.Tag] = r.DownMbps
+		fig8["Up|Down"][r.Tag] = r.BiUpMbps
+		fig8["Down|Up"][r.Tag] = r.BiDownMbps
+		fig9["Upload"][r.Tag] = r.DelayUpMs
+		fig9["Download"][r.Tag] = r.DelayDownMs
+		fig9["Up|Down"][r.Tag] = r.BiDelayUpMs
+		fig9["Down|Up"][r.Tag] = r.BiDelayDownMs
+	}
+	return fig8, fig9
+}

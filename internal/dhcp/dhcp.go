@@ -1,0 +1,430 @@
+// Package dhcp implements the DHCP message format plus the small server
+// and client used by the testbed: the test server leases a distinct
+// private address block to each gateway's WAN port, and each gateway
+// leases LAN addresses to the test client's per-VLAN interfaces — as in
+// the paper's Figure 1. The client reproduces the paper's modified
+// behavior of installing only interface-specific routes.
+package dhcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"hgw/internal/netpkt"
+	"hgw/internal/sim"
+	"hgw/internal/stack"
+	"hgw/internal/udp"
+)
+
+// DHCP message types (option 53).
+const (
+	Discover = 1
+	Offer    = 2
+	Request  = 3
+	Decline  = 4
+	Ack      = 5
+	Nak      = 6
+	Release  = 7
+)
+
+// Option codes used by the testbed.
+const (
+	OptSubnetMask  = 1
+	OptRouter      = 3
+	OptDNS         = 6
+	OptRequestedIP = 50
+	OptLeaseTime   = 51
+	OptMsgType     = 53
+	OptServerID    = 54
+	OptEnd         = 255
+)
+
+// Ports.
+const (
+	ServerPort = 67
+	ClientPort = 68
+)
+
+var magicCookie = [4]byte{99, 130, 83, 99}
+
+// Message is a DHCP message.
+type Message struct {
+	Op      uint8 // 1 request, 2 reply
+	XID     uint32
+	CIAddr  netip.Addr
+	YIAddr  netip.Addr
+	SIAddr  netip.Addr
+	GIAddr  netip.Addr
+	CHAddr  netpkt.MAC
+	Options map[uint8][]byte
+}
+
+// Type returns the message type from option 53 (0 if missing).
+func (m *Message) Type() uint8 {
+	if v, ok := m.Options[OptMsgType]; ok && len(v) == 1 {
+		return v[0]
+	}
+	return 0
+}
+
+// AddrOption decodes a 4-byte address option.
+func (m *Message) AddrOption(code uint8) (netip.Addr, bool) {
+	v, ok := m.Options[code]
+	if !ok || len(v) != 4 {
+		return netip.Addr{}, false
+	}
+	return netip.AddrFrom4([4]byte(v)), true
+}
+
+// SetAddrOption stores a 4-byte address option.
+func (m *Message) SetAddrOption(code uint8, a netip.Addr) {
+	b := a.As4()
+	m.Options[code] = b[:]
+}
+
+func addr4OrZero(b []byte) netip.Addr {
+	a := netip.AddrFrom4([4]byte(b))
+	if a == netpkt.Addr4(0, 0, 0, 0) {
+		return netip.Addr{}
+	}
+	return a
+}
+
+func put4(b []byte, a netip.Addr) {
+	if a.IsValid() {
+		x := a.As4()
+		copy(b, x[:])
+	}
+}
+
+// Marshal serializes the message.
+func (m *Message) Marshal() []byte {
+	b := make([]byte, 240)
+	b[0] = m.Op
+	b[1] = 1 // Ethernet
+	b[2] = 6
+	binary.BigEndian.PutUint32(b[4:8], m.XID)
+	put4(b[12:16], m.CIAddr)
+	put4(b[16:20], m.YIAddr)
+	put4(b[20:24], m.SIAddr)
+	put4(b[24:28], m.GIAddr)
+	copy(b[28:34], m.CHAddr[:])
+	copy(b[236:240], magicCookie[:])
+	// Deterministic option order: msg type first, then ascending.
+	emit := func(code uint8) {
+		v, ok := m.Options[code]
+		if !ok {
+			return
+		}
+		b = append(b, code, uint8(len(v)))
+		b = append(b, v...)
+	}
+	emit(OptMsgType)
+	for code := uint8(1); code < OptEnd; code++ {
+		if code != OptMsgType {
+			emit(code)
+		}
+	}
+	b = append(b, OptEnd)
+	return b
+}
+
+// Parse decodes a DHCP message.
+func Parse(b []byte) (*Message, error) {
+	if len(b) < 240 {
+		return nil, errors.New("dhcp: short message")
+	}
+	if [4]byte(b[236:240]) != magicCookie {
+		return nil, errors.New("dhcp: bad magic cookie")
+	}
+	m := &Message{
+		Op:      b[0],
+		XID:     binary.BigEndian.Uint32(b[4:8]),
+		CIAddr:  addr4OrZero(b[12:16]),
+		YIAddr:  addr4OrZero(b[16:20]),
+		SIAddr:  addr4OrZero(b[20:24]),
+		GIAddr:  addr4OrZero(b[24:28]),
+		Options: make(map[uint8][]byte),
+	}
+	copy(m.CHAddr[:], b[28:34])
+	opts := b[240:]
+	for i := 0; i < len(opts); {
+		code := opts[i]
+		if code == OptEnd {
+			break
+		}
+		if code == 0 {
+			i++
+			continue
+		}
+		if i+1 >= len(opts) {
+			return nil, errors.New("dhcp: truncated option")
+		}
+		l := int(opts[i+1])
+		if i+2+l > len(opts) {
+			return nil, errors.New("dhcp: truncated option value")
+		}
+		m.Options[code] = append([]byte(nil), opts[i+2:i+2+l]...)
+		i += 2 + l
+	}
+	return m, nil
+}
+
+// ServerConfig configures a DHCP server on one interface.
+type ServerConfig struct {
+	If        *stack.NetIf
+	PoolStart netip.Addr // first leasable address
+	PoolSize  int
+	Mask      int // prefix length handed out
+	Router    netip.Addr
+	DNS       netip.Addr
+	Lease     time.Duration
+}
+
+// Server is a single-interface DHCP server.
+type Server struct {
+	cfg    ServerConfig
+	conn   *udp.Conn
+	leases map[netpkt.MAC]netip.Addr
+	next   int
+	// Requests counts processed DISCOVER/REQUEST messages.
+	Requests int
+}
+
+// NewServer starts a DHCP server on cfg.If.
+func NewServer(us *udp.Stack, cfg ServerConfig) (*Server, error) {
+	if cfg.Lease == 0 {
+		cfg.Lease = time.Hour
+	}
+	conn, err := us.BindIf(cfg.If, ServerPort)
+	if err != nil {
+		return nil, err
+	}
+	srv := &Server{cfg: cfg, conn: conn, leases: make(map[netpkt.MAC]netip.Addr)}
+	cfg.If.Host.S.Spawn("dhcpd."+cfg.If.Name(), func(p *sim.Proc) {
+		for {
+			d, ok := conn.Recv(p, 0)
+			if !ok {
+				return
+			}
+			srv.handle(d)
+		}
+	})
+	return srv, nil
+}
+
+// Close stops the server.
+func (s *Server) Close() { s.conn.Close() }
+
+func (s *Server) alloc(mac netpkt.MAC) (netip.Addr, bool) {
+	if a, ok := s.leases[mac]; ok {
+		return a, true
+	}
+	if s.next >= s.cfg.PoolSize {
+		return netip.Addr{}, false
+	}
+	base := s.cfg.PoolStart.As4()
+	a := netip.AddrFrom4([4]byte{base[0], base[1], base[2], base[3] + byte(s.next)})
+	s.next++
+	s.leases[mac] = a
+	return a, true
+}
+
+func (s *Server) handle(d udp.Datagram) {
+	m, err := Parse(d.Data)
+	if err != nil || m.Op != 1 {
+		return
+	}
+	s.Requests++
+	var mtype uint8
+	switch m.Type() {
+	case Discover:
+		mtype = Offer
+	case Request:
+		mtype = Ack
+	default:
+		return
+	}
+	addr, ok := s.alloc(m.CHAddr)
+	if !ok {
+		return
+	}
+	reply := &Message{
+		Op: 2, XID: m.XID, YIAddr: addr, SIAddr: s.cfg.If.Addr,
+		CHAddr: m.CHAddr, Options: make(map[uint8][]byte),
+	}
+	reply.Options[OptMsgType] = []byte{mtype}
+	mask := netip.AddrFrom4(maskBytes(s.cfg.Mask))
+	reply.SetAddrOption(OptSubnetMask, mask)
+	if s.cfg.Router.IsValid() {
+		reply.SetAddrOption(OptRouter, s.cfg.Router)
+	}
+	if s.cfg.DNS.IsValid() {
+		reply.SetAddrOption(OptDNS, s.cfg.DNS)
+	}
+	reply.SetAddrOption(OptServerID, s.cfg.If.Addr)
+	lease := make([]byte, 4)
+	binary.BigEndian.PutUint32(lease, uint32(s.cfg.Lease/time.Second))
+	reply.Options[OptLeaseTime] = lease
+	// Reply is broadcast: the client has no address yet.
+	s.sendBroadcast(reply)
+}
+
+func (s *Server) sendBroadcast(m *Message) {
+	u := &netpkt.UDP{SrcPort: ServerPort, DstPort: ClientPort, Payload: m.Marshal()}
+	dst := netpkt.Addr4(255, 255, 255, 255)
+	ip := &netpkt.IPv4{
+		Protocol: netpkt.ProtoUDP,
+		Src:      s.cfg.If.Addr,
+		Dst:      dst,
+		TTL:      64,
+		ID:       s.cfg.If.Host.NextIPID(),
+		Payload:  u.Marshal(s.cfg.If.Addr, dst),
+	}
+	s.cfg.If.Link.Send(&netpkt.Frame{
+		Dst: netpkt.BroadcastMAC, Src: s.cfg.If.Link.MAC,
+		Type: netpkt.EtherTypeIPv4, Payload: ip.Marshal(),
+	})
+}
+
+func maskBytes(plen int) [4]byte {
+	var m [4]byte
+	for i := 0; i < plen; i++ {
+		m[i/8] |= 0x80 >> (i % 8)
+	}
+	return m
+}
+
+// MaskLen converts a netmask to a prefix length.
+func MaskLen(mask netip.Addr) int {
+	b := mask.As4()
+	n := 0
+	for _, x := range b {
+		for bit := 7; bit >= 0; bit-- {
+			if x&(1<<bit) == 0 {
+				return n
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// Lease is the result of a successful client exchange.
+type Lease struct {
+	Addr   netip.Addr
+	Plen   int
+	Router netip.Addr
+	DNS    netip.Addr
+	Server netip.Addr
+	TTL    time.Duration
+}
+
+// ClientConfig controls how the DHCP client applies a lease.
+type ClientConfig struct {
+	// ExtraRoutes are prefixes routed via the learned router in addition
+	// to the connected route. The paper's modified client installs only
+	// such interface-specific routes (never a default route); leave
+	// DefaultRoute false to reproduce that.
+	ExtraRoutes  []netip.Prefix
+	DefaultRoute bool
+	// Timeout bounds each request round-trip (default 3 s).
+	Timeout time.Duration
+	// Retries is the number of DISCOVER attempts (default 3).
+	Retries int
+}
+
+// Acquire runs a DISCOVER/OFFER/REQUEST/ACK exchange on ifc, configures
+// the interface address and routes per cfg, and returns the lease. It
+// must be called from a simulator process.
+func Acquire(p *sim.Proc, us *udp.Stack, ifc *stack.NetIf, cfg ClientConfig) (*Lease, error) {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 3 * time.Second
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 3
+	}
+	conn, err := us.BindIf(ifc, ClientPort)
+	if err != nil {
+		return nil, fmt.Errorf("dhcp: %w", err)
+	}
+	defer conn.Close()
+	h := ifc.Host
+	xid := h.S.Rand().Uint32()
+
+	sendBcast := func(mtype uint8, requested netip.Addr) {
+		m := &Message{Op: 1, XID: xid, CHAddr: ifc.Link.MAC, Options: make(map[uint8][]byte)}
+		m.Options[OptMsgType] = []byte{mtype}
+		if requested.IsValid() {
+			m.SetAddrOption(OptRequestedIP, requested)
+		}
+		u := &netpkt.UDP{SrcPort: ClientPort, DstPort: ServerPort, Payload: m.Marshal()}
+		src := netpkt.Addr4(0, 0, 0, 0)
+		dst := netpkt.Addr4(255, 255, 255, 255)
+		ip := &netpkt.IPv4{
+			Protocol: netpkt.ProtoUDP, Src: src, Dst: dst, TTL: 64,
+			ID: h.NextIPID(), Payload: u.Marshal(src, dst),
+		}
+		ifc.Link.Send(&netpkt.Frame{
+			Dst: netpkt.BroadcastMAC, Src: ifc.Link.MAC,
+			Type: netpkt.EtherTypeIPv4, Payload: ip.Marshal(),
+		})
+	}
+	recvType := func(want uint8) (*Message, bool) {
+		deadline := h.S.Now() + cfg.Timeout
+		for {
+			remain := deadline - h.S.Now()
+			if remain <= 0 {
+				return nil, false
+			}
+			d, ok := conn.Recv(p, remain)
+			if !ok {
+				return nil, false
+			}
+			m, err := Parse(d.Data)
+			if err != nil || m.Op != 2 || m.XID != xid || m.CHAddr != ifc.Link.MAC {
+				continue
+			}
+			if m.Type() == want {
+				return m, true
+			}
+		}
+	}
+
+	for attempt := 0; attempt < cfg.Retries; attempt++ {
+		sendBcast(Discover, netip.Addr{})
+		offer, ok := recvType(Offer)
+		if !ok {
+			continue
+		}
+		sendBcast(Request, offer.YIAddr)
+		ack, ok := recvType(Ack)
+		if !ok {
+			continue
+		}
+		lease := &Lease{Addr: ack.YIAddr, Plen: 24, Server: ack.SIAddr}
+		if mask, ok := ack.AddrOption(OptSubnetMask); ok {
+			lease.Plen = MaskLen(mask)
+		}
+		lease.Router, _ = ack.AddrOption(OptRouter)
+		lease.DNS, _ = ack.AddrOption(OptDNS)
+		if v, ok := ack.Options[OptLeaseTime]; ok && len(v) == 4 {
+			lease.TTL = time.Duration(binary.BigEndian.Uint32(v)) * time.Second
+		}
+		// Apply: address, connected route, and per-config routes.
+		ifc.SetAddr(lease.Addr, lease.Plen)
+		if lease.Router.IsValid() {
+			for _, pre := range cfg.ExtraRoutes {
+				h.AddRoute(pre, lease.Router, ifc)
+			}
+			if cfg.DefaultRoute {
+				h.AddRoute(netip.PrefixFrom(netpkt.Addr4(0, 0, 0, 0), 0), lease.Router, ifc)
+			}
+		}
+		return lease, nil
+	}
+	return nil, errors.New("dhcp: no lease acquired")
+}

@@ -1,0 +1,273 @@
+// Package dnsmsg implements the DNS wire format (A-record queries and
+// responses), a stub authoritative server, and a resolver client that
+// can query over UDP or TCP — the latter reproduces the paper's
+// dig-based DNS-over-TCP proxy test.
+package dnsmsg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Record types and classes.
+const (
+	TypeA   = 1
+	ClassIN = 1
+)
+
+// Header flag bits.
+const (
+	FlagResponse      = 1 << 15
+	FlagAuthoritative = 1 << 10
+	FlagRecursionDes  = 1 << 8
+	FlagRecursionAv   = 1 << 7
+	RcodeNXDomain     = 3
+)
+
+// Message is a DNS message restricted to the features the testbed needs.
+type Message struct {
+	ID        uint16
+	Flags     uint16
+	Questions []Question
+	Answers   []RR
+}
+
+// Question is a DNS question entry.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// RR is a resource record. Only A records carry an address.
+type RR struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+	Addr  netip.Addr
+}
+
+// Response reports whether the message is a response.
+func (m *Message) Response() bool { return m.Flags&FlagResponse != 0 }
+
+// Rcode returns the response code.
+func (m *Message) Rcode() int { return int(m.Flags & 0xf) }
+
+var errBadName = errors.New("dnsmsg: bad name")
+
+func appendName(b []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 || len(label) > 63 {
+				return nil, errBadName
+			}
+			b = append(b, byte(len(label)))
+			b = append(b, label...)
+		}
+	}
+	return append(b, 0), nil
+}
+
+// parseName decodes a possibly compressed name starting at off.
+func parseName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	jumped := false
+	next := off
+	for hops := 0; ; hops++ {
+		if hops > 64 || off >= len(msg) {
+			return "", 0, errBadName
+		}
+		l := int(msg[off])
+		switch {
+		case l == 0:
+			if !jumped {
+				next = off + 1
+			}
+			return sb.String(), next, nil
+		case l&0xc0 == 0xc0:
+			if off+1 >= len(msg) {
+				return "", 0, errBadName
+			}
+			ptr := int(msg[off]&0x3f)<<8 | int(msg[off+1])
+			if !jumped {
+				next = off + 2
+			}
+			jumped = true
+			off = ptr
+		default:
+			if off+1+l > len(msg) {
+				return "", 0, errBadName
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(msg[off+1 : off+1+l])
+			off += 1 + l
+		}
+	}
+}
+
+// Marshal serializes the message (no name compression).
+func (m *Message) Marshal() ([]byte, error) {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint16(b[0:2], m.ID)
+	binary.BigEndian.PutUint16(b[2:4], m.Flags)
+	binary.BigEndian.PutUint16(b[4:6], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(b[6:8], uint16(len(m.Answers)))
+	var err error
+	for _, q := range m.Questions {
+		if b, err = appendName(b, q.Name); err != nil {
+			return nil, err
+		}
+		b = binary.BigEndian.AppendUint16(b, q.Type)
+		b = binary.BigEndian.AppendUint16(b, q.Class)
+	}
+	for _, rr := range m.Answers {
+		if b, err = appendName(b, rr.Name); err != nil {
+			return nil, err
+		}
+		b = binary.BigEndian.AppendUint16(b, rr.Type)
+		b = binary.BigEndian.AppendUint16(b, rr.Class)
+		b = binary.BigEndian.AppendUint32(b, rr.TTL)
+		if rr.Type == TypeA && rr.Addr.IsValid() {
+			a := rr.Addr.As4()
+			b = binary.BigEndian.AppendUint16(b, 4)
+			b = append(b, a[:]...)
+		} else {
+			b = binary.BigEndian.AppendUint16(b, 0)
+		}
+	}
+	return b, nil
+}
+
+// Parse decodes a DNS message.
+func Parse(b []byte) (*Message, error) {
+	if len(b) < 12 {
+		return nil, errors.New("dnsmsg: short message")
+	}
+	m := &Message{
+		ID:    binary.BigEndian.Uint16(b[0:2]),
+		Flags: binary.BigEndian.Uint16(b[2:4]),
+	}
+	qd := int(binary.BigEndian.Uint16(b[4:6]))
+	an := int(binary.BigEndian.Uint16(b[6:8]))
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, next, err := parseName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		if next+4 > len(b) {
+			return nil, errors.New("dnsmsg: truncated question")
+		}
+		m.Questions = append(m.Questions, Question{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(b[next : next+2]),
+			Class: binary.BigEndian.Uint16(b[next+2 : next+4]),
+		})
+		off = next + 4
+	}
+	for i := 0; i < an; i++ {
+		name, next, err := parseName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		if next+10 > len(b) {
+			return nil, errors.New("dnsmsg: truncated answer")
+		}
+		rr := RR{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(b[next : next+2]),
+			Class: binary.BigEndian.Uint16(b[next+2 : next+4]),
+			TTL:   binary.BigEndian.Uint32(b[next+4 : next+8]),
+		}
+		rdlen := int(binary.BigEndian.Uint16(b[next+8 : next+10]))
+		if next+10+rdlen > len(b) {
+			return nil, errors.New("dnsmsg: truncated rdata")
+		}
+		if rr.Type == TypeA && rdlen == 4 {
+			rr.Addr = netip.AddrFrom4([4]byte(b[next+10 : next+14]))
+		}
+		m.Answers = append(m.Answers, rr)
+		off = next + 10 + rdlen
+	}
+	return m, nil
+}
+
+// NewQuery builds an A query for name.
+func NewQuery(id uint16, name string) *Message {
+	return &Message{
+		ID:    id,
+		Flags: FlagRecursionDes,
+		Questions: []Question{{
+			Name: strings.TrimSuffix(name, "."), Type: TypeA, Class: ClassIN,
+		}},
+	}
+}
+
+// Zone is an in-memory authoritative zone: name (lower case, no trailing
+// dot) to address.
+type Zone map[string]netip.Addr
+
+// Answer builds the authoritative response for query q.
+func (z Zone) Answer(q *Message) *Message {
+	resp := &Message{
+		ID:    q.ID,
+		Flags: FlagResponse | FlagAuthoritative | FlagRecursionAv | (q.Flags & FlagRecursionDes),
+	}
+	resp.Questions = q.Questions
+	for _, question := range q.Questions {
+		if question.Type != TypeA || question.Class != ClassIN {
+			continue
+		}
+		if addr, ok := z[strings.ToLower(strings.TrimSuffix(question.Name, "."))]; ok {
+			resp.Answers = append(resp.Answers, RR{
+				Name: question.Name, Type: TypeA, Class: ClassIN, TTL: 300, Addr: addr,
+			})
+		}
+	}
+	if len(resp.Answers) == 0 {
+		resp.Flags |= RcodeNXDomain
+	}
+	return resp
+}
+
+// FrameTCP prefixes a DNS message with the 2-byte length used on TCP.
+func FrameTCP(msg []byte) []byte {
+	out := make([]byte, 2+len(msg))
+	binary.BigEndian.PutUint16(out[0:2], uint16(len(msg)))
+	copy(out[2:], msg)
+	return out
+}
+
+// UnframeTCP extracts one length-prefixed DNS message from a TCP stream
+// buffer, returning the message and remaining bytes. ok is false when
+// the buffer does not yet hold a full message.
+func UnframeTCP(buf []byte) (msg, rest []byte, ok bool) {
+	if len(buf) < 2 {
+		return nil, buf, false
+	}
+	n := int(binary.BigEndian.Uint16(buf[0:2]))
+	if len(buf) < 2+n {
+		return nil, buf, false
+	}
+	return buf[2 : 2+n], buf[2+n:], true
+}
+
+// String renders a short human-readable summary.
+func (m *Message) String() string {
+	kind := "query"
+	if m.Response() {
+		kind = "response"
+	}
+	var q string
+	if len(m.Questions) > 0 {
+		q = m.Questions[0].Name
+	}
+	return fmt.Sprintf("dns %s id=%d %q answers=%d rcode=%d", kind, m.ID, q, len(m.Answers), m.Rcode())
+}

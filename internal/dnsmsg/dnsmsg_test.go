@@ -1,0 +1,128 @@
+package dnsmsg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hgw/internal/netpkt"
+)
+
+func TestQueryRoundtrip(t *testing.T) {
+	q := NewQuery(42, "server.hiit.fi")
+	b, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 42 || got.Response() || len(got.Questions) != 1 {
+		t.Fatalf("parse: %+v", got)
+	}
+	if got.Questions[0].Name != "server.hiit.fi" || got.Questions[0].Type != TypeA {
+		t.Fatalf("question: %+v", got.Questions[0])
+	}
+}
+
+func TestZoneAnswer(t *testing.T) {
+	z := Zone{"server.hiit.fi": netpkt.Addr4(10, 0, 0, 1)}
+	q := NewQuery(7, "SERVER.hiit.FI.") // case and trailing dot insensitive
+	resp := z.Answer(q)
+	if !resp.Response() || resp.ID != 7 || resp.Rcode() != 0 {
+		t.Fatalf("resp: %+v", resp)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].Addr != netpkt.Addr4(10, 0, 0, 1) {
+		t.Fatalf("answers: %+v", resp.Answers)
+	}
+	// Roundtrip the response.
+	b, err := resp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 1 || got.Answers[0].Addr != netpkt.Addr4(10, 0, 0, 1) || got.Answers[0].TTL != 300 {
+		t.Fatalf("roundtrip answers: %+v", got.Answers)
+	}
+}
+
+func TestZoneNXDomain(t *testing.T) {
+	z := Zone{"a.example": netpkt.Addr4(1, 1, 1, 1)}
+	resp := z.Answer(NewQuery(1, "b.example"))
+	if resp.Rcode() != RcodeNXDomain || len(resp.Answers) != 0 {
+		t.Fatalf("resp: %+v", resp)
+	}
+}
+
+func TestNameCompressionPointerParse(t *testing.T) {
+	// Hand-build a response using a compression pointer to offset 12.
+	q := NewQuery(9, "x.example")
+	b, _ := q.Marshal()
+	// Append an answer whose name is a pointer to the question name.
+	b[6] = 0
+	b[7] = 1                // ancount = 1
+	b = append(b, 0xc0, 12) // pointer to question name
+	b = append(b, 0, 1, 0, 1, 0, 0, 1, 0, 0, 4, 9, 9, 9, 9)
+	got, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 1 || got.Answers[0].Name != "x.example" ||
+		got.Answers[0].Addr != netpkt.Addr4(9, 9, 9, 9) {
+		t.Fatalf("answers: %+v", got.Answers)
+	}
+}
+
+func TestBadNameRejected(t *testing.T) {
+	m := &Message{ID: 1, Questions: []Question{{Name: string(make([]byte, 80)), Type: TypeA, Class: ClassIN}}}
+	if _, err := m.Marshal(); err == nil {
+		t.Fatal("oversized label accepted")
+	}
+	// Pointer loop must not hang.
+	loop := []byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xc0, 12, 0, 1, 0, 1}
+	if _, err := Parse(loop); err == nil {
+		t.Fatal("pointer loop accepted")
+	}
+}
+
+func TestTCPFraming(t *testing.T) {
+	msg := []byte("hello dns")
+	framed := FrameTCP(msg)
+	got, rest, ok := UnframeTCP(append(framed, 0xEE))
+	if !ok || string(got) != "hello dns" || len(rest) != 1 {
+		t.Fatalf("unframe: %q %v %v", got, rest, ok)
+	}
+	if _, _, ok := UnframeTCP(framed[:3]); ok {
+		t.Fatal("partial message unframed")
+	}
+	if _, _, ok := UnframeTCP(nil); ok {
+		t.Fatal("empty buffer unframed")
+	}
+}
+
+func TestRoundtripQuick(t *testing.T) {
+	f := func(id uint16, l1, l2 uint8) bool {
+		a := 'a' + rune(l1%26)
+		b := 'a' + rune(l2%26)
+		name := string(a) + "." + string(b) + ".example"
+		q := NewQuery(id, name)
+		buf, err := q.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Parse(buf)
+		return err == nil && got.ID == id && got.Questions[0].Name == name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := NewQuery(3, "a.b").String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,10 @@
+package gateway
+
+import "net/netip"
+
+type (
+	netipPrefix = netip.Prefix
+	netipAddr   = netip.Addr
+)
+
+func parsePrefix(s string) (netip.Prefix, error) { return netip.ParsePrefix(s) }

@@ -1,0 +1,550 @@
+package nat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"hgw/internal/netpkt"
+	"hgw/internal/sim"
+)
+
+// closeLinger is how long a binding survives after an observed TCP
+// teardown (both FINs or a RST).
+const closeLinger = 6 * time.Second
+
+// flowKey identifies one internal session (5-tuple; ICMP echo uses the
+// query ID as the client "port").
+type flowKey struct {
+	proto  uint8
+	client netip.Addr
+	cport  uint16
+	server netip.Addr
+	sport  uint16
+}
+
+func (k flowKey) String() string {
+	return fmt.Sprintf("%s %v:%d->%v:%d", netpkt.ProtoName(k.proto), k.client, k.cport, k.server, k.sport)
+}
+
+// extKey identifies a binding from the WAN side.
+type extKey struct {
+	proto  uint8
+	ext    uint16
+	server netip.Addr
+	sport  uint16
+}
+
+type portKey struct {
+	proto uint8
+	port  uint16
+}
+
+// portOwner tracks which internal endpoint holds an external port. A
+// port-preserving NAT reuses one external port for all flows of the
+// same internal endpoint (port overloading): the reverse map stays
+// unambiguous because byExt is keyed by the remote endpoint too.
+type portOwner struct {
+	client netip.Addr
+	cport  uint16
+	n      int
+}
+
+// Binding is one active translation entry.
+type Binding struct {
+	flow    flowKey
+	ext     uint16
+	created sim.Time
+	timer   *sim.Event
+
+	// UDP refresh state.
+	sawInbound           bool
+	sawOutboundAfterInbd bool
+
+	// TCP state tracking.
+	tcpEstablished bool
+	finClient      bool
+	finServer      bool
+	tcpClosed      bool
+}
+
+// Ext returns the binding's external port.
+func (b *Binding) Ext() uint16 { return b.ext }
+
+type quarEntry struct {
+	port  uint16
+	until sim.Time
+}
+
+// Engine is one device's NAPT translation engine.
+type Engine struct {
+	s   *sim.Sim
+	pol Policy
+	wan netip.Addr
+
+	byFlow     map[flowKey]*Binding
+	byExt      map[extKey]*Binding
+	portsInUse map[portKey]*portOwner
+	quarantine map[flowKey]quarEntry
+	nextPort   uint16
+	phase      time.Duration // expiry-quantisation phase
+	tcpCount   int
+
+	// Counters by drop reason, for diagnostics and tests.
+	Drops map[string]int
+	// Translations counts successfully translated packets.
+	Translations int64
+}
+
+// NewEngine creates an engine with the given policy. The WAN address
+// must be set with SetWAN before traffic flows (the gateway does this
+// after its DHCP lease).
+func NewEngine(s *sim.Sim, pol Policy) *Engine {
+	return &Engine{
+		s:          s,
+		pol:        pol.withDefaults(),
+		byFlow:     make(map[flowKey]*Binding),
+		byExt:      make(map[extKey]*Binding),
+		portsInUse: make(map[portKey]*portOwner),
+		quarantine: make(map[flowKey]quarEntry),
+		nextPort:   30000,
+		phase:      time.Duration(s.Rand().Int63n(int64(time.Minute))),
+		Drops:      make(map[string]int),
+	}
+}
+
+// Policy returns the engine's (defaulted) policy.
+func (e *Engine) Policy() Policy { return e.pol }
+
+// SetWAN installs the external address.
+func (e *Engine) SetWAN(addr netip.Addr) { e.wan = addr }
+
+// WAN returns the external address.
+func (e *Engine) WAN() netip.Addr { return e.wan }
+
+// BindingCount returns the number of active bindings.
+func (e *Engine) BindingCount() int { return len(e.byFlow) }
+
+// TCPBindingCount returns the number of active TCP bindings.
+func (e *Engine) TCPBindingCount() int { return e.tcpCount }
+
+// LookupFlow returns the binding for a 5-tuple, if active.
+func (e *Engine) LookupFlow(proto uint8, client netip.Addr, cport uint16, server netip.Addr, sport uint16) (*Binding, bool) {
+	b, ok := e.byFlow[flowKey{proto, client, cport, server, sport}]
+	return b, ok
+}
+
+func (e *Engine) drop(reason string) {
+	e.Drops[reason]++
+}
+
+// udpTimeouts returns the timeout triple for a destination service port.
+func (e *Engine) udpTimeouts(sport uint16) UDPTimeouts {
+	if t, ok := e.pol.UDPServices[sport]; ok {
+		if t.Outbound == 0 {
+			t.Outbound = e.pol.UDP.Outbound
+		}
+		if t.Inbound == 0 {
+			t.Inbound = e.pol.UDP.Inbound
+		}
+		if t.Bidir == 0 {
+			t.Bidir = e.pol.UDP.Bidir
+		}
+		return t
+	}
+	return e.pol.UDP
+}
+
+// quantise rounds an expiry deadline up to the device's timer tick.
+func (e *Engine) quantise(deadline sim.Time) sim.Time {
+	g := e.pol.TimerGranularity
+	if g <= 0 {
+		return deadline
+	}
+	rel := deadline - e.phase
+	ticks := (rel + g - 1) / g
+	return e.phase + ticks*g
+}
+
+// arm re-arms a binding's expiry timer (0 timeout = never expires).
+func (e *Engine) arm(b *Binding, timeout time.Duration) {
+	e.armQ(b, timeout, false)
+}
+
+// armQ is arm with optional expiry quantisation. Coarse-timer devices
+// only showed their coarseness once a binding was refreshed by traffic
+// (wide quartiles in the paper's UDP-2 but not UDP-1), so fresh
+// outbound-only bindings use exact timers.
+func (e *Engine) armQ(b *Binding, timeout time.Duration, quantise bool) {
+	if b.timer != nil {
+		b.timer.Cancel()
+		b.timer = nil
+	}
+	if timeout <= 0 {
+		return
+	}
+	deadline := e.s.Now() + timeout
+	if quantise {
+		deadline = e.quantise(deadline)
+	}
+	b.timer = e.s.At(deadline, func() { e.expire(b) })
+}
+
+func (e *Engine) expire(b *Binding) {
+	if e.byFlow[b.flow] != b {
+		return
+	}
+	e.remove(b)
+	if !e.pol.ReuseExpiredBinding {
+		e.quarantine[b.flow] = quarEntry{port: b.ext, until: e.s.Now() + e.pol.ReuseQuarantine}
+	}
+}
+
+func (e *Engine) remove(b *Binding) {
+	if b.timer != nil {
+		b.timer.Cancel()
+	}
+	delete(e.byFlow, b.flow)
+	delete(e.byExt, extKey{b.flow.proto, b.ext, b.flow.server, b.flow.sport})
+	pk := portKey{b.flow.proto, b.ext}
+	if o := e.portsInUse[pk]; o != nil {
+		o.n--
+		if o.n <= 0 {
+			delete(e.portsInUse, pk)
+		}
+	}
+	if b.flow.proto == netpkt.ProtoTCP {
+		e.tcpCount--
+	}
+}
+
+// allocPort chooses an external port for a new binding.
+func (e *Engine) allocPort(proto uint8, flow flowKey, desired uint16) uint16 {
+	var blocked uint16
+	if q, ok := e.quarantine[flow]; ok {
+		if e.s.Now() < q.until {
+			blocked = q.port
+		} else {
+			delete(e.quarantine, flow)
+		}
+	}
+	if e.pol.PortPreservation && desired != 0 && desired != blocked {
+		o := e.portsInUse[portKey{proto, desired}]
+		if o == nil || (o.client == flow.client && o.cport == flow.cport) {
+			// Free, or already held by this same internal endpoint
+			// (port overloading: flows to distinct remotes share it).
+			return desired
+		}
+	}
+	for i := 0; i < 65536; i++ {
+		p := e.nextPort
+		e.nextPort++
+		if e.nextPort < 30000 {
+			e.nextPort = 30000
+		}
+		if p == blocked || p == desired {
+			continue
+		}
+		if e.portsInUse[portKey{proto, p}] == nil {
+			return p
+		}
+	}
+	return 0
+}
+
+// newBinding installs a binding for an outbound flow. Protocols
+// without port numbers (unknown transports under IP-only translation)
+// get external "port" 0 and skip port allocation.
+func (e *Engine) newBinding(flow flowKey) *Binding {
+	var ext uint16
+	switch flow.proto {
+	case netpkt.ProtoTCP, netpkt.ProtoUDP, netpkt.ProtoICMP:
+		ext = e.allocPort(flow.proto, flow, flow.cport)
+		if ext == 0 {
+			return nil
+		}
+	}
+	b := &Binding{flow: flow, ext: ext, created: e.s.Now()}
+	e.byFlow[flow] = b
+	e.byExt[extKey{flow.proto, ext, flow.server, flow.sport}] = b
+	pk := portKey{flow.proto, ext}
+	if o := e.portsInUse[pk]; o != nil {
+		o.n++
+	} else {
+		e.portsInUse[pk] = &portOwner{client: flow.client, cport: flow.cport, n: 1}
+	}
+	if flow.proto == netpkt.ProtoTCP {
+		e.tcpCount++
+	}
+	return b
+}
+
+// refreshUDP re-arms a UDP binding after a packet in the given direction.
+func (e *Engine) refreshUDP(b *Binding, inbound bool) {
+	t := e.udpTimeouts(b.flow.sport)
+	if inbound {
+		b.sawInbound = true
+		if b.sawOutboundAfterInbd {
+			e.armQ(b, t.Bidir, true)
+		} else {
+			e.armQ(b, t.Inbound, true)
+		}
+		return
+	}
+	if b.sawInbound {
+		b.sawOutboundAfterInbd = true
+		e.armQ(b, t.Bidir, true)
+		return
+	}
+	e.arm(b, t.Outbound)
+}
+
+// refreshTCP re-arms a TCP binding from observed segment flags.
+func (e *Engine) refreshTCP(b *Binding, flags uint8, inbound bool) {
+	if flags&netpkt.TCPRst != 0 {
+		b.tcpClosed = true
+	}
+	if flags&netpkt.TCPFin != 0 {
+		if inbound {
+			b.finServer = true
+		} else {
+			b.finClient = true
+		}
+		if b.finServer && b.finClient {
+			b.tcpClosed = true
+		}
+	}
+	switch {
+	case b.tcpClosed:
+		e.arm(b, closeLinger)
+	case b.tcpEstablished:
+		e.arm(b, e.pol.TCPEstablished)
+	default:
+		if inbound {
+			// Reply to our SYN: connection is coming up.
+			b.tcpEstablished = true
+			e.arm(b, e.pol.TCPEstablished)
+			return
+		}
+		e.arm(b, e.pol.TCPTransitory)
+	}
+}
+
+// Outbound translates a LAN-to-WAN packet in place. It returns false if
+// the packet must be dropped. The caller re-marshals the packet.
+func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
+	if !e.wan.IsValid() {
+		e.drop("no-wan")
+		return false
+	}
+	client := ip.Src
+	switch ip.Protocol {
+	case netpkt.ProtoUDP:
+		sport, dport, ok := netpkt.UDPPorts(ip.Payload)
+		if !ok {
+			e.drop("udp-short")
+			return false
+		}
+		flow := flowKey{netpkt.ProtoUDP, client, sport, ip.Dst, dport}
+		b, ok := e.byFlow[flow]
+		if !ok {
+			b = e.newBinding(flow)
+			if b == nil {
+				e.drop("udp-ports-exhausted")
+				return false
+			}
+		}
+		e.refreshUDP(b, false)
+		zeroCsum := binary.BigEndian.Uint16(ip.Payload[6:8]) == 0
+		netpkt.SetUDPPorts(ip.Payload, b.ext, dport)
+		if !zeroCsum {
+			netpkt.FixUDPChecksum(ip.Payload, e.wan, ip.Dst)
+		}
+		ip.Src = e.wan
+		e.Translations++
+		return true
+
+	case netpkt.ProtoTCP:
+		sport, dport, ok := netpkt.TCPPorts(ip.Payload)
+		if !ok || len(ip.Payload) < 20 {
+			e.drop("tcp-short")
+			return false
+		}
+		flags := ip.Payload[13] & 0x3f
+		flow := flowKey{netpkt.ProtoTCP, client, sport, ip.Dst, dport}
+		b, ok := e.byFlow[flow]
+		if !ok {
+			if flags&netpkt.TCPSyn == 0 {
+				e.drop("tcp-no-binding")
+				return false
+			}
+			if e.tcpCount >= e.pol.MaxTCPBindings {
+				e.drop("tcp-table-full")
+				return false
+			}
+			b = e.newBinding(flow)
+			if b == nil {
+				e.drop("tcp-ports-exhausted")
+				return false
+			}
+		}
+		e.refreshTCP(b, flags, false)
+		netpkt.SetTCPPorts(ip.Payload, b.ext, dport)
+		netpkt.FixTCPChecksum(ip.Payload, e.wan, ip.Dst)
+		ip.Src = e.wan
+		e.Translations++
+		return true
+
+	case netpkt.ProtoICMP:
+		return e.outboundICMP(ip)
+
+	default:
+		switch e.pol.UnknownProto {
+		case UnknownDrop:
+			e.drop("unknown-proto")
+			return false
+		case UnknownTranslateIPOnly:
+			flow := flowKey{ip.Protocol, client, 0, ip.Dst, 0}
+			if _, ok := e.byFlow[flow]; !ok {
+				if b := e.newBinding(flow); b != nil {
+					e.arm(b, e.pol.UDP.Bidir) // generic session timeout
+				}
+			} else {
+				e.arm(e.byFlow[flow], e.pol.UDP.Bidir)
+			}
+			ip.Src = e.wan // transport checksum left stale: that is the point
+			e.Translations++
+			return true
+		case UnknownPassUntouched:
+			// Forward with the private source address intact.
+			e.Translations++
+			return true
+		}
+	}
+	e.drop("unhandled")
+	return false
+}
+
+// Inbound translates a WAN-to-LAN packet in place. It returns false if
+// the packet must be dropped.
+func (e *Engine) Inbound(ip *netpkt.IPv4) bool {
+	switch ip.Protocol {
+	case netpkt.ProtoUDP:
+		sport, dport, ok := netpkt.UDPPorts(ip.Payload)
+		if !ok {
+			e.drop("udp-short")
+			return false
+		}
+		b, ok := e.byExt[extKey{netpkt.ProtoUDP, dport, ip.Src, sport}]
+		if !ok {
+			e.drop("udp-no-binding")
+			return false
+		}
+		e.refreshUDP(b, true)
+		zeroCsum := binary.BigEndian.Uint16(ip.Payload[6:8]) == 0
+		netpkt.SetUDPPorts(ip.Payload, sport, b.flow.cport)
+		if !zeroCsum {
+			netpkt.FixUDPChecksum(ip.Payload, ip.Src, b.flow.client)
+		}
+		ip.Dst = b.flow.client
+		e.Translations++
+		return true
+
+	case netpkt.ProtoTCP:
+		sport, dport, ok := netpkt.TCPPorts(ip.Payload)
+		if !ok || len(ip.Payload) < 20 {
+			e.drop("tcp-short")
+			return false
+		}
+		b, ok := e.byExt[extKey{netpkt.ProtoTCP, dport, ip.Src, sport}]
+		if !ok {
+			e.drop("tcp-no-binding")
+			return false
+		}
+		e.refreshTCP(b, ip.Payload[13]&0x3f, true)
+		netpkt.SetTCPPorts(ip.Payload, sport, b.flow.cport)
+		netpkt.FixTCPChecksum(ip.Payload, ip.Src, b.flow.client)
+		ip.Dst = b.flow.client
+		e.Translations++
+		return true
+
+	case netpkt.ProtoICMP:
+		return e.inboundICMP(ip)
+
+	default:
+		switch e.pol.UnknownProto {
+		case UnknownTranslateIPOnly:
+			if e.pol.UnknownInboundDrop {
+				e.drop("unknown-inbound-drop")
+				return false
+			}
+			// Find the session by protocol + server address.
+			b, ok := e.byExt[extKey{ip.Protocol, 0, ip.Src, 0}]
+			if !ok {
+				e.drop("unknown-no-binding")
+				return false
+			}
+			e.arm(b, e.pol.UDP.Bidir)
+			ip.Dst = b.flow.client
+			e.Translations++
+			return true
+		case UnknownPassUntouched:
+			// The packet is addressed to a private address we never
+			// translated; nothing sensible to do — forward as-is if it
+			// happens to be routable on the LAN.
+			e.Translations++
+			return true
+		}
+		e.drop("unknown-proto")
+		return false
+	}
+}
+
+// InboundHairpin translates a hairpinned packet (one that arrived from
+// the LAN addressed to the external address, already outbound-translated
+// by the caller) toward the internal host owning the destination port.
+// Hairpinning requires endpoint-independent matching: only the external
+// port is compared.
+func (e *Engine) InboundHairpin(ip *netpkt.IPv4) bool {
+	var dport, sport uint16
+	var ok bool
+	switch ip.Protocol {
+	case netpkt.ProtoUDP:
+		sport, dport, ok = netpkt.UDPPorts(ip.Payload)
+	case netpkt.ProtoTCP:
+		sport, dport, ok = netpkt.TCPPorts(ip.Payload)
+	default:
+		e.drop("hairpin-proto")
+		return false
+	}
+	if !ok {
+		e.drop("hairpin-short")
+		return false
+	}
+	var b *Binding
+	for k, cand := range e.byExt {
+		if k.proto == ip.Protocol && k.ext == dport {
+			b = cand
+			break
+		}
+	}
+	if b == nil {
+		e.drop("hairpin-no-binding")
+		return false
+	}
+	switch ip.Protocol {
+	case netpkt.ProtoUDP:
+		zero := binary.BigEndian.Uint16(ip.Payload[6:8]) == 0
+		netpkt.SetUDPPorts(ip.Payload, sport, b.flow.cport)
+		if !zero {
+			netpkt.FixUDPChecksum(ip.Payload, ip.Src, b.flow.client)
+		}
+	case netpkt.ProtoTCP:
+		netpkt.SetTCPPorts(ip.Payload, sport, b.flow.cport)
+		netpkt.FixTCPChecksum(ip.Payload, ip.Src, b.flow.client)
+	}
+	ip.Dst = b.flow.client
+	e.Translations++
+	return true
+}

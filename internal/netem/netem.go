@@ -1,0 +1,238 @@
+// Package netem emulates the testbed's physical layer on the simulator:
+// full-duplex Ethernet links with configurable rate, propagation delay
+// and drop-tail transmit queues, and VLAN-partitioned learning switches
+// (the HP-2524s of the paper's Figure 1).
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"hgw/internal/netpkt"
+	"hgw/internal/sim"
+)
+
+// Iface is a network attachment point: one side belongs to its owner (a
+// host stack, a gateway, or a switch), the other side to a Link.
+type Iface struct {
+	Name string
+	MAC  netpkt.MAC
+	VLAN uint16 // access VLAN when plugged into a switch port; 0 = untagged/any
+
+	// Recv is invoked (in scheduler context) when a frame arrives from
+	// the link. The owner must set it before traffic flows.
+	Recv func(*netpkt.Frame)
+
+	// send is installed by Link when the interface is attached.
+	send func(*netpkt.Frame)
+
+	// Tap, if set, observes every frame sent and received by this
+	// interface. dir is "tx" or "rx".
+	Tap func(dir string, f *netpkt.Frame)
+}
+
+// Send transmits a frame onto the attached link. Frames sent on a
+// detached interface are dropped silently (cable unplugged).
+func (i *Iface) Send(f *netpkt.Frame) {
+	if i.Tap != nil {
+		i.Tap("tx", f)
+	}
+	if i.send != nil {
+		i.send(f)
+	}
+}
+
+func (i *Iface) deliver(f *netpkt.Frame) {
+	if i.Tap != nil {
+		i.Tap("rx", f)
+	}
+	if i.Recv != nil {
+		i.Recv(f)
+	}
+}
+
+// Attached reports whether the interface is connected to a link.
+func (i *Iface) Attached() bool { return i.send != nil }
+
+// LinkConfig parameterises one Link. The zero value is replaced by
+// DefaultLinkConfig.
+type LinkConfig struct {
+	// Rate is the line rate in bits per second (default 100 Mb/s,
+	// matching the paper's testbed).
+	Rate float64
+	// Delay is the one-way propagation delay (default 5 µs).
+	Delay time.Duration
+	// QueueBytes bounds each direction's transmit queue (default 64 KB).
+	QueueBytes int
+}
+
+// DefaultLinkConfig is the paper's testbed link: 100 Mb/s Ethernet.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{Rate: 100e6, Delay: 5 * time.Microsecond, QueueBytes: 64 * 1024}
+}
+
+func (c LinkConfig) withDefaults() LinkConfig {
+	d := DefaultLinkConfig()
+	if c.Rate <= 0 {
+		c.Rate = d.Rate
+	}
+	if c.Delay <= 0 {
+		c.Delay = d.Delay
+	}
+	if c.QueueBytes <= 0 {
+		c.QueueBytes = d.QueueBytes
+	}
+	return c
+}
+
+// Link is a full-duplex point-to-point link between two interfaces.
+type Link struct {
+	s    *sim.Sim
+	cfg  LinkConfig
+	a, b *Iface
+	ab   *pipe
+	ba   *pipe
+}
+
+// pipe is one direction of a link.
+type pipe struct {
+	s         *sim.Sim
+	cfg       LinkConfig
+	dst       *Iface
+	queue     []*netpkt.Frame
+	queued    int // bytes
+	busy      bool
+	drops     int
+	delivered int
+}
+
+// Connect wires a and b together with the given configuration and
+// returns the link.
+func Connect(s *sim.Sim, a, b *Iface, cfg LinkConfig) *Link {
+	cfg = cfg.withDefaults()
+	l := &Link{s: s, cfg: cfg, a: a, b: b}
+	l.ab = &pipe{s: s, cfg: cfg, dst: b}
+	l.ba = &pipe{s: s, cfg: cfg, dst: a}
+	a.send = l.ab.send
+	b.send = l.ba.send
+	return l
+}
+
+// Disconnect detaches both interfaces (pulls the cable).
+func (l *Link) Disconnect() {
+	l.a.send = nil
+	l.b.send = nil
+}
+
+// Drops returns the number of frames dropped by each direction's queue
+// (a-to-b, b-to-a).
+func (l *Link) Drops() (ab, ba int) { return l.ab.drops, l.ba.drops }
+
+// Delivered returns the number of frames delivered in each direction.
+func (l *Link) Delivered() (ab, ba int) { return l.ab.delivered, l.ba.delivered }
+
+func (p *pipe) send(f *netpkt.Frame) {
+	if p.busy {
+		if p.queued+f.Len() > p.cfg.QueueBytes {
+			p.drops++
+			if DebugDrop != nil {
+				DebugDrop(f)
+			}
+			return
+		}
+		p.queue = append(p.queue, f)
+		p.queued += f.Len()
+		return
+	}
+	p.transmit(f)
+}
+
+func (p *pipe) transmit(f *netpkt.Frame) {
+	p.busy = true
+	txTime := time.Duration(float64(f.Len()*8) / p.cfg.Rate * float64(time.Second))
+	if txTime <= 0 {
+		txTime = time.Nanosecond
+	}
+	p.s.After(txTime, func() {
+		// Serialization finished: schedule delivery after propagation and
+		// start the next queued frame.
+		p.s.After(p.cfg.Delay, func() {
+			p.delivered++
+			p.dst.deliver(f)
+		})
+		if len(p.queue) > 0 {
+			next := p.queue[0]
+			p.queue[0] = nil
+			p.queue = p.queue[1:]
+			p.queued -= next.Len()
+			p.transmit(next)
+			return
+		}
+		p.busy = false
+	})
+}
+
+// Switch is a VLAN-partitioned learning Ethernet switch. Each port has
+// an access VLAN; frames are forwarded only among ports of the same
+// VLAN. Unknown destinations and broadcasts flood the VLAN.
+type Switch struct {
+	s     *sim.Sim
+	name  string
+	ports []*Iface
+	table map[fdbKey]*Iface
+}
+
+type fdbKey struct {
+	vlan uint16
+	mac  netpkt.MAC
+}
+
+// NewSwitch creates a switch with no ports.
+func NewSwitch(s *sim.Sim, name string) *Switch {
+	return &Switch{s: s, name: name, table: make(map[fdbKey]*Iface)}
+}
+
+// AddPort creates a new access port on the given VLAN and returns its
+// interface, ready to be linked to a host interface.
+func (sw *Switch) AddPort(vlan uint16) *Iface {
+	port := &Iface{
+		Name: fmt.Sprintf("%s.p%d", sw.name, len(sw.ports)),
+		VLAN: vlan,
+	}
+	port.Recv = func(f *netpkt.Frame) { sw.forward(port, f) }
+	sw.ports = append(sw.ports, port)
+	return port
+}
+
+// NumPorts returns the number of ports on the switch.
+func (sw *Switch) NumPorts() int { return len(sw.ports) }
+
+func (sw *Switch) forward(in *Iface, f *netpkt.Frame) {
+	vlan := in.VLAN
+	// Learn the source address. The paper notes some gateways use the
+	// same MAC on WAN and LAN ports, which corrupts the FDB when both
+	// sides share a switch; VLAN partitioning keeps the entries distinct
+	// only if the device is plugged into different VLANs.
+	if !f.Src.IsZero() && !f.Src.IsBroadcast() {
+		sw.table[fdbKey{vlan, f.Src}] = in
+	}
+	if !f.Dst.IsBroadcast() {
+		if out, ok := sw.table[fdbKey{vlan, f.Dst}]; ok {
+			if out != in {
+				out.Send(f)
+			}
+			return
+		}
+	}
+	for _, p := range sw.ports {
+		if p != in && p.VLAN == vlan {
+			p.Send(f.Clone())
+		}
+	}
+}
+
+// FDBSize returns the number of learned MAC entries (for tests).
+func (sw *Switch) FDBSize() int { return len(sw.table) }
+
+// DebugDrop, when non-nil, observes every queue drop (diagnostics only).
+var DebugDrop func(*netpkt.Frame)

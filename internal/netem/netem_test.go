@@ -1,0 +1,213 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"hgw/internal/netpkt"
+	"hgw/internal/sim"
+)
+
+func mkIface(name string) *Iface {
+	return &Iface{Name: name, MAC: netpkt.MAC{2, 0, 0, 0, 0, byte(len(name))}}
+}
+
+func TestLinkDelivery(t *testing.T) {
+	s := sim.New(1)
+	a, b := mkIface("a"), mkIface("b")
+	var got *netpkt.Frame
+	var at sim.Time
+	b.Recv = func(f *netpkt.Frame) { got, at = f, s.Now() }
+	Connect(s, a, b, LinkConfig{Rate: 100e6, Delay: 10 * time.Microsecond})
+	f := &netpkt.Frame{Src: a.MAC, Dst: b.MAC, Type: netpkt.EtherTypeIPv4, Payload: make([]byte, 982)} // frame len 1000
+	s.After(0, func() { a.Send(f) })
+	s.Run(0)
+	if got == nil {
+		t.Fatal("frame not delivered")
+	}
+	// 1000 bytes at 100 Mb/s = 80 µs serialization + 10 µs propagation.
+	want := 90 * time.Microsecond
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestLinkQueueingSerializes(t *testing.T) {
+	s := sim.New(1)
+	a, b := mkIface("a"), mkIface("b")
+	var times []sim.Time
+	b.Recv = func(f *netpkt.Frame) { times = append(times, s.Now()) }
+	Connect(s, a, b, LinkConfig{Rate: 100e6, Delay: 10 * time.Microsecond})
+	s.After(0, func() {
+		for i := 0; i < 3; i++ {
+			a.Send(&netpkt.Frame{Payload: make([]byte, 982)})
+		}
+	})
+	s.Run(0)
+	if len(times) != 3 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	// Deliveries spaced by serialization time (80 µs), not propagation.
+	if d := times[1] - times[0]; d != 80*time.Microsecond {
+		t.Fatalf("spacing %v, want 80µs", d)
+	}
+}
+
+func TestLinkDropTail(t *testing.T) {
+	s := sim.New(1)
+	a, b := mkIface("a"), mkIface("b")
+	n := 0
+	b.Recv = func(f *netpkt.Frame) { n++ }
+	l := Connect(s, a, b, LinkConfig{Rate: 1e6, QueueBytes: 2000})
+	s.After(0, func() {
+		for i := 0; i < 10; i++ {
+			a.Send(&netpkt.Frame{Payload: make([]byte, 982)}) // 1000 B frames
+		}
+	})
+	s.Run(0)
+	// 1 transmitting + 2 queued; rest dropped.
+	if n != 3 {
+		t.Fatalf("delivered %d, want 3", n)
+	}
+	ab, _ := l.Drops()
+	if ab != 7 {
+		t.Fatalf("drops %d, want 7", ab)
+	}
+	gotAB, _ := l.Delivered()
+	if gotAB != 3 {
+		t.Fatalf("Delivered() = %d, want 3", gotAB)
+	}
+}
+
+func TestLinkFullDuplex(t *testing.T) {
+	s := sim.New(1)
+	a, b := mkIface("a"), mkIface("b")
+	var gotA, gotB int
+	a.Recv = func(f *netpkt.Frame) { gotA++ }
+	b.Recv = func(f *netpkt.Frame) { gotB++ }
+	Connect(s, a, b, LinkConfig{})
+	s.After(0, func() {
+		a.Send(&netpkt.Frame{})
+		b.Send(&netpkt.Frame{})
+	})
+	s.Run(0)
+	if gotA != 1 || gotB != 1 {
+		t.Fatalf("gotA=%d gotB=%d", gotA, gotB)
+	}
+}
+
+func TestDisconnect(t *testing.T) {
+	s := sim.New(1)
+	a, b := mkIface("a"), mkIface("b")
+	got := 0
+	b.Recv = func(f *netpkt.Frame) { got++ }
+	l := Connect(s, a, b, LinkConfig{})
+	if !a.Attached() {
+		t.Fatal("a not attached")
+	}
+	l.Disconnect()
+	if a.Attached() {
+		t.Fatal("a still attached")
+	}
+	s.After(0, func() { a.Send(&netpkt.Frame{}) })
+	s.Run(0)
+	if got != 0 {
+		t.Fatal("frame delivered over disconnected link")
+	}
+}
+
+func TestTapSeesTraffic(t *testing.T) {
+	s := sim.New(1)
+	a, b := mkIface("a"), mkIface("b")
+	b.Recv = func(f *netpkt.Frame) {}
+	var tx, rx int
+	a.Tap = func(dir string, f *netpkt.Frame) {
+		if dir == "tx" {
+			tx++
+		}
+	}
+	b.Tap = func(dir string, f *netpkt.Frame) {
+		if dir == "rx" {
+			rx++
+		}
+	}
+	Connect(s, a, b, LinkConfig{})
+	s.After(0, func() { a.Send(&netpkt.Frame{}) })
+	s.Run(0)
+	if tx != 1 || rx != 1 {
+		t.Fatalf("tx=%d rx=%d", tx, rx)
+	}
+}
+
+// switch test helpers: host NICs attached to switch ports.
+func plug(s *sim.Sim, sw *Switch, vlan uint16, mac byte) (*Iface, *[]netpkt.MAC) {
+	h := &Iface{Name: "h", MAC: netpkt.MAC{2, 0, 0, 0, 0, mac}}
+	var got []netpkt.MAC
+	rec := &got
+	h.Recv = func(f *netpkt.Frame) { *rec = append(*rec, f.Src) }
+	Connect(s, h, sw.AddPort(vlan), LinkConfig{})
+	return h, rec
+}
+
+func TestSwitchFloodsThenLearns(t *testing.T) {
+	s := sim.New(1)
+	sw := NewSwitch(s, "sw0")
+	h1, got1 := plug(s, sw, 1, 1)
+	h2, got2 := plug(s, sw, 1, 2)
+	_, got3 := plug(s, sw, 1, 3)
+
+	s.After(0, func() {
+		// Unknown destination: flood to both others.
+		h1.Send(&netpkt.Frame{Src: h1.MAC, Dst: h2.MAC})
+	})
+	s.After(time.Millisecond, func() {
+		// h2 replies; switch has learned h1's port, so h3 sees nothing.
+		h2.Send(&netpkt.Frame{Src: h2.MAC, Dst: h1.MAC})
+	})
+	s.After(2*time.Millisecond, func() {
+		// Now h1->h2 is unicast: h3 must not see it.
+		h1.Send(&netpkt.Frame{Src: h1.MAC, Dst: h2.MAC})
+	})
+	s.Run(0)
+	if len(*got2) != 2 {
+		t.Fatalf("h2 got %d frames, want 2", len(*got2))
+	}
+	if len(*got1) != 1 {
+		t.Fatalf("h1 got %d frames, want 1", len(*got1))
+	}
+	if len(*got3) != 1 { // only the initial flood
+		t.Fatalf("h3 got %d frames, want 1", len(*got3))
+	}
+	if sw.FDBSize() != 2 {
+		t.Fatalf("FDB size %d, want 2", sw.FDBSize())
+	}
+}
+
+func TestSwitchVLANIsolation(t *testing.T) {
+	s := sim.New(1)
+	sw := NewSwitch(s, "sw0")
+	h1, _ := plug(s, sw, 1, 1)
+	_, got2 := plug(s, sw, 1, 2)
+	_, got3 := plug(s, sw, 2, 3) // different VLAN
+
+	s.After(0, func() {
+		h1.Send(&netpkt.Frame{Src: h1.MAC, Dst: netpkt.BroadcastMAC})
+	})
+	s.Run(0)
+	if len(*got2) != 1 {
+		t.Fatalf("same-VLAN peer got %d", len(*got2))
+	}
+	if len(*got3) != 0 {
+		t.Fatalf("cross-VLAN peer got %d, want 0", len(*got3))
+	}
+	if sw.NumPorts() != 3 {
+		t.Fatalf("ports = %d", sw.NumPorts())
+	}
+}
+
+func TestDefaultLinkConfig(t *testing.T) {
+	cfg := LinkConfig{}.withDefaults()
+	if cfg.Rate != 100e6 || cfg.Delay <= 0 || cfg.QueueBytes <= 0 {
+		t.Fatalf("bad defaults: %+v", cfg)
+	}
+}

@@ -1,0 +1,155 @@
+// Package netpkt implements wire-format codecs for the protocols used in
+// the home-gateway testbed: Ethernet framing with 802.1Q VLANs, ARP,
+// IPv4 (including options), UDP, TCP, ICMPv4, SCTP and DCCP.
+//
+// Network-layer packets and above are marshaled to real bytes with real
+// checksums at every hop, so middlebox behaviors that depend on header
+// rewriting (for example: SCTP surviving IP-only translation because its
+// CRC32c does not cover a pseudo-header, while DCCP's checksum does) fall
+// out of the codecs rather than being special-cased.
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// IP protocol numbers used by the testbed.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+	ProtoDCCP = 33
+	ProtoSCTP = 132
+)
+
+// EtherTypes.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeARP  = 0x0806
+)
+
+// ProtoName returns a short human-readable name for an IP protocol number.
+func ProtoName(p uint8) string {
+	switch p {
+	case ProtoICMP:
+		return "icmp"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	case ProtoDCCP:
+		return "dccp"
+	case ProtoSCTP:
+		return "sctp"
+	default:
+		return fmt.Sprintf("proto-%d", p)
+	}
+}
+
+// MAC is a 48-bit Ethernet hardware address.
+type MAC [6]byte
+
+// String implements fmt.Stringer ("aa:bb:cc:dd:ee:ff").
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether m is ff:ff:ff:ff:ff:ff.
+func (m MAC) IsBroadcast() bool { return m == BroadcastMAC }
+
+// IsZero reports whether m is the all-zero address.
+func (m MAC) IsZero() bool { return m == MAC{} }
+
+// BroadcastMAC is the Ethernet broadcast address.
+var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// Frame is an Ethernet frame. The layer-2 header is kept in struct form
+// (the simulator never needs raw L2 bytes); the network-layer payload is
+// fully serialized.
+type Frame struct {
+	Dst     MAC
+	Src     MAC
+	VLAN    uint16 // 0 means untagged
+	Type    uint16 // EtherTypeIPv4 or EtherTypeARP
+	Payload []byte
+}
+
+// Len returns the on-wire frame length in bytes (header + optional
+// 802.1Q tag + payload, padded to the Ethernet minimum of 64 bytes
+// including FCS). Link serialization delays use this.
+func (f *Frame) Len() int {
+	n := 14 + len(f.Payload) + 4 // hdr + payload + FCS
+	if f.VLAN != 0 {
+		n += 4
+	}
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	g := *f
+	g.Payload = append([]byte(nil), f.Payload...)
+	return &g
+}
+
+// Checksum computes the RFC 1071 internet checksum over b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeader builds the IPv4 pseudo-header used by UDP, TCP and DCCP
+// checksums.
+func pseudoHeader(src, dst netip.Addr, proto uint8, length int) []byte {
+	ph := make([]byte, 12)
+	s4 := src.As4()
+	d4 := dst.As4()
+	copy(ph[0:4], s4[:])
+	copy(ph[4:8], d4[:])
+	ph[9] = proto
+	binary.BigEndian.PutUint16(ph[10:12], uint16(length))
+	return ph
+}
+
+// TransportChecksum computes the internet checksum of a transport
+// segment including the IPv4 pseudo-header. The segment's checksum field
+// must be zeroed by the caller.
+func TransportChecksum(src, dst netip.Addr, proto uint8, segment []byte) uint16 {
+	buf := append(pseudoHeader(src, dst, proto, len(segment)), segment...)
+	return Checksum(buf)
+}
+
+// Addr4 builds a netip.Addr from four octets. It is a test and
+// configuration convenience.
+func Addr4(a, b, c, d byte) netip.Addr {
+	return netip.AddrFrom4([4]byte{a, b, c, d})
+}
+
+// ChecksumAdjust incrementally updates an internet checksum after the
+// covered bytes old were replaced by new (RFC 1624's HC' = ~(~HC + ~m +
+// m')). old and new must have the same even length.
+func ChecksumAdjust(sum uint16, old, new []byte) uint16 {
+	acc := uint32(^sum)
+	for i := 0; i+1 < len(old); i += 2 {
+		acc += uint32(^binary.BigEndian.Uint16(old[i:]))
+		acc += uint32(binary.BigEndian.Uint16(new[i:]))
+	}
+	for acc>>16 != 0 {
+		acc = (acc & 0xffff) + acc>>16
+	}
+	return ^uint16(acc)
+}

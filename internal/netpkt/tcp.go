@@ -1,0 +1,126 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"strings"
+)
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPPsh = 1 << 3
+	TCPAck = 1 << 4
+	TCPUrg = 1 << 5
+)
+
+// TCP is a TCP segment (header + payload).
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+	Urgent  uint16
+	Options []byte // raw options, padded to 4 bytes on marshal
+	Payload []byte
+}
+
+// HeaderLen returns the header length in bytes including option padding.
+func (t *TCP) HeaderLen() int { return 20 + (len(t.Options)+3)&^3 }
+
+// Marshal serializes the segment with a checksum over the pseudo-header.
+func (t *TCP) Marshal(src, dst netip.Addr) []byte {
+	hl := t.HeaderLen()
+	b := make([]byte, hl+len(t.Payload))
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.Seq)
+	binary.BigEndian.PutUint32(b[8:12], t.Ack)
+	b[12] = uint8(hl/4) << 4
+	b[13] = t.Flags
+	binary.BigEndian.PutUint16(b[14:16], t.Window)
+	binary.BigEndian.PutUint16(b[18:20], t.Urgent)
+	copy(b[20:], t.Options)
+	copy(b[hl:], t.Payload)
+	binary.BigEndian.PutUint16(b[16:18], TransportChecksum(src, dst, ProtoTCP, b))
+	return b
+}
+
+// ParseTCP decodes a TCP segment, verifying the checksum when verify is
+// true.
+func ParseTCP(b []byte, src, dst netip.Addr, verify bool) (*TCP, error) {
+	if len(b) < 20 {
+		return nil, ErrShortPacket
+	}
+	hl := int(b[12]>>4) * 4
+	if hl < 20 || hl > len(b) {
+		return nil, ErrShortPacket
+	}
+	t := &TCP{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Seq:     binary.BigEndian.Uint32(b[4:8]),
+		Ack:     binary.BigEndian.Uint32(b[8:12]),
+		Flags:   b[13] & 0x3f,
+		Window:  binary.BigEndian.Uint16(b[14:16]),
+		Urgent:  binary.BigEndian.Uint16(b[18:20]),
+		Payload: append([]byte(nil), b[hl:]...),
+	}
+	if hl > 20 {
+		t.Options = append([]byte(nil), b[20:hl]...)
+	}
+	if verify && TransportChecksum(src, dst, ProtoTCP, b) != 0 {
+		return t, ErrBadChecksum
+	}
+	return t, nil
+}
+
+// FlagString renders TCP flags like "SYN|ACK".
+func FlagString(flags uint8) string {
+	var parts []string
+	for _, f := range []struct {
+		bit  uint8
+		name string
+	}{{TCPSyn, "SYN"}, {TCPAck, "ACK"}, {TCPFin, "FIN"}, {TCPRst, "RST"}, {TCPPsh, "PSH"}, {TCPUrg, "URG"}} {
+		if flags&f.bit != 0 {
+			parts = append(parts, f.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, "|")
+}
+
+// TCPPorts extracts source and destination ports without a full parse.
+func TCPPorts(b []byte) (src, dst uint16, ok bool) {
+	if len(b) < 4 {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint16(b[0:2]), binary.BigEndian.Uint16(b[2:4]), true
+}
+
+// SetTCPPorts rewrites the port fields in place (checksum not updated).
+func SetTCPPorts(b []byte, src, dst uint16) bool {
+	if len(b) < 4 {
+		return false
+	}
+	binary.BigEndian.PutUint16(b[0:2], src)
+	binary.BigEndian.PutUint16(b[2:4], dst)
+	return true
+}
+
+// FixTCPChecksum recomputes the TCP checksum in b for the given
+// pseudo-header addresses.
+func FixTCPChecksum(b []byte, src, dst netip.Addr) bool {
+	if len(b) < 18 {
+		return false
+	}
+	b[16], b[17] = 0, 0
+	binary.BigEndian.PutUint16(b[16:18], TransportChecksum(src, dst, ProtoTCP, b))
+	return true
+}

@@ -1,0 +1,87 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// UDP is a UDP datagram (header + payload).
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+// Marshal serializes the datagram with a checksum computed over the
+// pseudo-header for src/dst.
+func (u *UDP) Marshal(src, dst netip.Addr) []byte {
+	b := make([]byte, 8+len(u.Payload))
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], uint16(len(b)))
+	copy(b[8:], u.Payload)
+	csum := TransportChecksum(src, dst, ProtoUDP, b)
+	if csum == 0 {
+		csum = 0xffff // RFC 768: transmitted all-ones when computed zero
+	}
+	binary.BigEndian.PutUint16(b[6:8], csum)
+	return b
+}
+
+// ParseUDP decodes a UDP datagram. When verify is true the checksum is
+// validated against the given pseudo-header addresses; a zero checksum
+// field means "no checksum" per RFC 768 and always verifies.
+func ParseUDP(b []byte, src, dst netip.Addr, verify bool) (*UDP, error) {
+	if len(b) < 8 {
+		return nil, ErrShortPacket
+	}
+	length := int(binary.BigEndian.Uint16(b[4:6]))
+	if length < 8 || length > len(b) {
+		return nil, ErrShortPacket
+	}
+	u := &UDP{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Payload: append([]byte(nil), b[8:length]...),
+	}
+	if verify && binary.BigEndian.Uint16(b[6:8]) != 0 {
+		if TransportChecksum(src, dst, ProtoUDP, b[:length]) != 0 {
+			return u, ErrBadChecksum
+		}
+	}
+	return u, nil
+}
+
+// UDPPorts extracts source and destination ports without a full parse.
+// ok is false if the buffer is too short.
+func UDPPorts(b []byte) (src, dst uint16, ok bool) {
+	if len(b) < 4 {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint16(b[0:2]), binary.BigEndian.Uint16(b[2:4]), true
+}
+
+// SetUDPPorts rewrites the port fields in place (checksum not updated).
+func SetUDPPorts(b []byte, src, dst uint16) bool {
+	if len(b) < 4 {
+		return false
+	}
+	binary.BigEndian.PutUint16(b[0:2], src)
+	binary.BigEndian.PutUint16(b[2:4], dst)
+	return true
+}
+
+// FixUDPChecksum recomputes the UDP checksum in b for the given
+// pseudo-header addresses.
+func FixUDPChecksum(b []byte, src, dst netip.Addr) bool {
+	if len(b) < 8 {
+		return false
+	}
+	b[6], b[7] = 0, 0
+	csum := TransportChecksum(src, dst, ProtoUDP, b)
+	if csum == 0 {
+		csum = 0xffff
+	}
+	binary.BigEndian.PutUint16(b[6:8], csum)
+	return true
+}

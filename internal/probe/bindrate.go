@@ -1,0 +1,62 @@
+package probe
+
+import (
+	"fmt"
+	"time"
+
+	"hgw/internal/sim"
+	"hgw/internal/testbed"
+)
+
+// BindRate measures how fast a gateway can create fresh UDP bindings
+// (the paper's §5 lists "the rate at which NATs are capable of creating
+// new bindings" as planned future work). The prober opens new flows
+// back-to-back for the given duration and counts how many reach the
+// server; the sample unit is bindings per second.
+//
+// On the emulated devices the ceiling comes from the forwarding-plane
+// rate (binding setup is one small packet each), so this doubles as an
+// ablation of the forwarding-engine model.
+func BindRate(tb *testbed.Testbed, s *sim.Sim, duration time.Duration, opts Options) []DeviceResult {
+	opts = opts.withDefaults()
+	if duration <= 0 {
+		duration = 2 * time.Second
+	}
+	return RunPerDevice(tb, s, "udp-bindrate", func(p *sim.Proc, n *testbed.Node) DeviceResult {
+		port := uint16(udpProbeBasePort + 50)
+		srv, err := tb.Server.UDP.BindIf(n.ServerIf, port)
+		if err != nil {
+			panic(fmt.Sprintf("probe: bindrate %s: %v", n.Tag, err))
+		}
+		defer srv.Close()
+
+		start := p.Now()
+		sent := 0
+		for p.Now()-start < duration {
+			c, err := tb.Client.UDP.Dial(n.ServerAddr, port)
+			if err != nil {
+				break
+			}
+			c.SendTo(n.ServerAddr, port, []byte("bind-rate"))
+			c.Close()
+			sent++
+			// Pace lightly so the LAN link is not the artificial limit.
+			p.Sleep(20 * time.Microsecond)
+		}
+		// Count arrivals (each created one binding at the NAT).
+		got := 0
+		for {
+			if _, ok := srv.TryRecv(); !ok {
+				// Allow stragglers to drain once.
+				if _, ok := srv.Recv(p, 50*time.Millisecond); !ok {
+					break
+				}
+			}
+			got++
+		}
+		elapsed := (p.Now() - start).Seconds()
+		rate := float64(got) / elapsed
+		_ = sent
+		return DeviceResult{Tag: n.Tag, Samples: []float64{rate}}
+	})
+}

@@ -1,0 +1,294 @@
+package probe
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"hgw/internal/sim"
+	"hgw/internal/stats"
+	"hgw/internal/tcp"
+	"hgw/internal/testbed"
+)
+
+// tcpProbeBasePort is the base server port for TCP probes; each device
+// uses its own port to keep parallel measurements apart.
+const tcpProbeBasePort = 8000
+
+// TCPTimeouts measures idle TCP binding timeouts (TCP-1) for all nodes
+// in parallel. Samples are in minutes; devices whose bindings survive
+// the 24-hour cut-off report opts.MaxTCPTimeout.
+func TCPTimeouts(tb *testbed.Testbed, s *sim.Sim, opts Options) []DeviceResult {
+	opts = opts.withDefaults()
+	return RunPerDevice(tb, s, "tcp-timeout", func(p *sim.Proc, n *testbed.Node) DeviceResult {
+		port := uint16(tcpProbeBasePort + n.Index)
+		lis, err := tb.Server.TCP.Listen(port)
+		if err != nil {
+			panic(fmt.Sprintf("probe: tcp listen %d: %v", port, err))
+		}
+		defer lis.Close()
+
+		res := DeviceResult{Tag: n.Tag}
+		for it := 0; it < opts.Iterations; it++ {
+			p.Sleep(time.Duration(s.Rand().Int63n(int64(5 * time.Second))))
+			sample, _ := binarySearch(func(t time.Duration) bool {
+				return tcpAlive(p, tb, n, lis, port, t, opts)
+			}, 2*time.Minute, opts.MaxTCPTimeout, opts.Resolution)
+			res.Samples = append(res.Samples, sample.Minutes())
+		}
+		return res
+	})
+}
+
+// tcpAlive opens a fresh connection, idles it for t with no keepalives,
+// then passes a message server-to-client to see whether the NAT binding
+// survived.
+func tcpAlive(p *sim.Proc, tb *testbed.Testbed, n *testbed.Node,
+	lis *tcp.Listener, port uint16, t time.Duration, opts Options) bool {
+
+	c, err := tb.Client.TCP.Connect(p, n.ServerAddr, port, 0, 15*time.Second)
+	if err != nil {
+		// Table pressure from a previous probe; give it a beat and fail
+		// this probe conservatively as alive=false only if retry fails.
+		p.Sleep(10 * time.Second)
+		c, err = tb.Client.TCP.Connect(p, n.ServerAddr, port, 0, 15*time.Second)
+		if err != nil {
+			return false
+		}
+	}
+	sc, err := lis.Accept(p, 5*time.Second)
+	if err != nil {
+		c.Abort()
+		return false
+	}
+	p.Sleep(t)
+	alive := false
+	if err := sc.Write(p, []byte("binding-check")); err == nil {
+		data, err := c.Read(p, 64, opts.Verdict+3*time.Second)
+		alive = err == nil && len(data) > 0
+	}
+	c.Abort()
+	sc.Abort()
+	// Let the NAT's close-linger expire before the next probe.
+	p.Sleep(30 * time.Second)
+	return alive
+}
+
+// Throughput is the per-device TCP-2/TCP-3 result: bulk goodput in both
+// directions, unidirectional and bidirectional, plus the embedded-
+// timestamp queuing delays of TCP-3 (median of minimum-normalized
+// deltas, in milliseconds).
+type Throughput struct {
+	Tag string
+
+	UpMbps, DownMbps     float64 // unidirectional goodput
+	BiUpMbps, BiDownMbps float64 // simultaneous up+down
+
+	DelayUpMs, DelayDownMs     float64 // unidirectional
+	BiDelayUpMs, BiDelayDownMs float64 // during bidirectional load
+}
+
+// blockSize is the timestamp spacing of TCP-3 (every 2 KB).
+const blockSize = 2048
+
+// MeasureThroughput runs the TCP-2/TCP-3 workload against a single
+// device on a fresh testbed (the paper measures throughput one gateway
+// at a time to avoid overloading the test network).
+func MeasureThroughput(tag string, opts Options, seed int64) Throughput {
+	opts = opts.withDefaults()
+	res := Throughput{Tag: tag}
+
+	// Unidirectional upload.
+	run1 := func(up bool) (float64, float64) {
+		tb, s := testbed.Run(testbed.Config{Tags: []string{tag}, Seed: seed})
+		n := tb.Nodes[0]
+		var mbps, delay float64
+		done := s.Spawn("xfer", func(p *sim.Proc) {
+			mbps, delay = oneTransfer(p, tb, n, up, opts.TransferBytes)
+		})
+		s.Run(0)
+		if !done.Exited() {
+			panic("probe: transfer stalled for " + tag)
+		}
+		return mbps, delay
+	}
+	res.UpMbps, res.DelayUpMs = run1(true)
+	res.DownMbps, res.DelayDownMs = run1(false)
+
+	// Bidirectional: both directions at once on one testbed.
+	tb, s := testbed.Run(testbed.Config{Tags: []string{tag}, Seed: seed})
+	n := tb.Nodes[0]
+	var upM, upD, downM, downD float64
+	p1 := s.Spawn("xfer-up", func(p *sim.Proc) {
+		upM, upD = oneTransfer(p, tb, n, true, opts.TransferBytes)
+	})
+	p2 := s.Spawn("xfer-down", func(p *sim.Proc) {
+		downM, downD = oneTransfer(p, tb, n, false, opts.TransferBytes)
+	})
+	s.Run(0)
+	if !p1.Exited() || !p2.Exited() {
+		panic("probe: bidirectional transfer stalled for " + tag)
+	}
+	res.BiUpMbps, res.BiDelayUpMs = upM, upD
+	res.BiDownMbps, res.BiDelayDownMs = downM, downD
+	return res
+}
+
+// oneTransfer moves opts.TransferBytes through the device in the given
+// direction, returning goodput (Mb/s) and the TCP-3 delay (ms).
+// The sender embeds an 8-byte virtual-clock timestamp at the start of
+// every 2 KB block; the receiver reports the median of the normalized
+// (minimum-subtracted) deltas, which discards the constant propagation
+// component and is robust to retransmissions, as in the paper.
+func oneTransfer(p *sim.Proc, tb *testbed.Testbed, n *testbed.Node, up bool, total int) (mbps, delayMs float64) {
+	port := uint16(tcpProbeBasePort + 500)
+	if !up {
+		port++
+	}
+	lis, err := tb.Server.TCP.Listen(port)
+	if err != nil {
+		panic(err)
+	}
+	defer lis.Close()
+
+	type rxResult struct {
+		bytes   int
+		start   sim.Time
+		end     sim.Time
+		delays  []float64
+		started bool
+	}
+	var rx rxResult
+
+	recvLoop := func(rp *sim.Proc, c *tcp.Conn) {
+		var pending []byte
+		for rx.bytes < total {
+			data, err := c.Read(rp, 1<<16, 2*time.Minute)
+			if err != nil {
+				break
+			}
+			if !rx.started {
+				rx.started = true
+				rx.start = rp.Now()
+			}
+			rx.bytes += len(data)
+			rx.end = rp.Now()
+			pending = append(pending, data...)
+			for len(pending) >= blockSize {
+				ts := binary.BigEndian.Uint64(pending[:8])
+				d := float64(rp.Now()-sim.Time(ts)) / float64(time.Millisecond)
+				rx.delays = append(rx.delays, d)
+				pending = pending[blockSize:]
+			}
+		}
+	}
+
+	sendLoop := func(sp *sim.Proc, c *tcp.Conn) {
+		block := make([]byte, blockSize)
+		// Effective send-socket buffer: one receive window's worth, as
+		// on the paper's Linux senders. Timestamps are stamped when the
+		// block enters the buffer, so the measured delay includes
+		// sender-side queueing — exactly like the paper's 100 MB writes
+		// through a kernel socket buffer.
+		const sndBuf = 60 * 1024
+		for sent := 0; sent < total; sent += blockSize {
+			for c.Buffered() > sndBuf {
+				sp.Sleep(200 * time.Microsecond)
+			}
+			binary.BigEndian.PutUint64(block[:8], uint64(sp.Now()))
+			if err := c.Write(sp, block); err != nil {
+				return
+			}
+		}
+		c.Close()
+	}
+
+	// Establish the connection through the NAT (always client-initiated).
+	cli, err := tb.Client.TCP.Connect(p, n.ServerAddr, port, 0, 15*time.Second)
+	if err != nil {
+		return 0, 0
+	}
+	srv, err := lis.Accept(p, 5*time.Second)
+	if err != nil {
+		cli.Abort()
+		return 0, 0
+	}
+
+	var sender, receiver *tcp.Conn
+	if up {
+		sender, receiver = cli, srv
+	} else {
+		sender, receiver = srv, cli
+	}
+	rcv := tb.S.Spawn("rx", func(rp *sim.Proc) { recvLoop(rp, receiver) })
+	snd := tb.S.Spawn("tx", func(sp *sim.Proc) { sendLoop(sp, sender) })
+	p.Join(snd)
+	p.Join(rcv)
+	cli.Abort()
+	srv.Abort()
+
+	if rx.bytes == 0 || rx.end <= rx.start {
+		return 0, 0
+	}
+	if d := rx.end - rx.start; d > 0 {
+		mbps = float64(rx.bytes) * 8 / d.Seconds() / 1e6
+	}
+	if len(rx.delays) > 0 {
+		minD := stats.Min(rx.delays)
+		delayMs = stats.Median(rx.delays) - minD
+	}
+	return mbps, delayMs
+}
+
+// MaxBindings measures the maximum number of concurrent TCP bindings to
+// a single server port (TCP-4): connections are opened until creation
+// fails or messages can no longer be passed.
+func MaxBindings(tb *testbed.Testbed, s *sim.Sim, opts Options) []DeviceResult {
+	opts = opts.withDefaults()
+	const hardLimit = 1400 // above the largest device cap (ca. 1024)
+	return RunPerDevice(tb, s, "tcp-maxbind", func(p *sim.Proc, n *testbed.Node) DeviceResult {
+		port := uint16(tcpProbeBasePort + 200 + n.Index)
+		lis, err := tb.Server.TCP.Listen(port)
+		if err != nil {
+			panic(err)
+		}
+		defer lis.Close()
+
+		var conns []*tcp.Conn
+		var srvConns []*tcp.Conn
+		count := 0
+		for count < hardLimit {
+			c, err := tb.Client.TCP.Connect(p, n.ServerAddr, port, 0, 12*time.Second)
+			if err != nil {
+				break
+			}
+			sc, err := lis.Accept(p, 5*time.Second)
+			if err != nil {
+				c.Abort()
+				break
+			}
+			// Pass a message over the new connection (and keep all
+			// bindings fresh enough — their idle timeouts are minutes).
+			if err := c.Write(p, []byte("m")); err != nil {
+				c.Abort()
+				sc.Abort()
+				break
+			}
+			if _, err := sc.Read(p, 16, opts.Verdict); err != nil {
+				c.Abort()
+				sc.Abort()
+				break
+			}
+			conns = append(conns, c)
+			srvConns = append(srvConns, sc)
+			count++
+		}
+		for _, c := range conns {
+			c.Abort()
+		}
+		for _, c := range srvConns {
+			c.Abort()
+		}
+		return DeviceResult{Tag: n.Tag, Samples: []float64{float64(count)}}
+	})
+}

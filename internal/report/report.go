@@ -1,0 +1,234 @@
+// Package report renders experiment results in the paper's style:
+// population plots with devices ordered by ascending median on the
+// x-axis (drawn here as ASCII bar charts), the Table 2 dot matrix, and
+// markdown tables for EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"hgw/internal/netpkt"
+	"hgw/internal/probe"
+	"hgw/internal/stats"
+)
+
+// Figure is a rendered population result.
+type Figure struct {
+	Title  string
+	Unit   string
+	Points []stats.DevicePoint // sorted ascending by median
+	Median float64             // population median of medians
+	Mean   float64
+}
+
+// NewFigure builds a Figure from per-device results.
+func NewFigure(title, unit string, results []probe.DeviceResult) Figure {
+	pts := make([]stats.DevicePoint, 0, len(results))
+	for _, r := range results {
+		if len(r.Samples) == 0 {
+			continue
+		}
+		pts = append(pts, r.Point())
+	}
+	sorted, med, mean := stats.Population(pts)
+	return Figure{Title: title, Unit: unit, Points: sorted, Median: med, Mean: mean}
+}
+
+// NewFigureFromValues builds a Figure from single values per device.
+func NewFigureFromValues(title, unit string, values map[string]float64) Figure {
+	results := make([]probe.DeviceResult, 0, len(values))
+	for tag, v := range values {
+		results = append(results, probe.DeviceResult{Tag: tag, Samples: []float64{v}})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Tag < results[j].Tag })
+	return NewFigure(title, unit, results)
+}
+
+// Render draws the figure as an ASCII bar chart, one device per row,
+// ordered like the paper's x-axis. logScale mimics Figure 7's log axis.
+func (f Figure) Render(width int, logScale bool) string {
+	if width <= 0 {
+		width = 50
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s [%s]\n", f.Title, f.Unit)
+	if len(f.Points) == 0 {
+		sb.WriteString("  (no data)\n")
+		return sb.String()
+	}
+	maxV := f.Points[len(f.Points)-1].Median
+	minV := f.Points[0].Median
+	scale := func(v float64) int {
+		if maxV <= 0 {
+			return 0
+		}
+		if logScale {
+			lo := math.Log10(math.Max(minV, 1))
+			hi := math.Log10(math.Max(maxV, 10))
+			if hi <= lo {
+				return width
+			}
+			return int(float64(width) * (math.Log10(math.Max(v, 1)) - lo) / (hi - lo))
+		}
+		return int(float64(width) * v / maxV)
+	}
+	for _, p := range f.Points {
+		n := scale(p.Median)
+		if n < 0 {
+			n = 0
+		}
+		iqr := ""
+		if p.IQR() > 0.5 {
+			iqr = fmt.Sprintf("  (q1=%.1f q3=%.1f)", p.Q1, p.Q3)
+		}
+		fmt.Fprintf(&sb, "  %-5s %8.2f |%s%s\n", p.Tag, p.Median, strings.Repeat("#", n), iqr)
+	}
+	fmt.Fprintf(&sb, "  population median = %.2f, mean = %.2f\n", f.Median, f.Mean)
+	return sb.String()
+}
+
+// Markdown renders the figure as a markdown table.
+func (f Figure) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "| device | median (%s) | q1 | q3 |\n|---|---|---|---|\n", f.Unit)
+	for _, p := range f.Points {
+		fmt.Fprintf(&sb, "| %s | %.2f | %.2f | %.2f |\n", p.Tag, p.Median, p.Q1, p.Q3)
+	}
+	fmt.Fprintf(&sb, "\nPopulation median %.2f, mean %.2f (%s).\n", f.Median, f.Mean, f.Unit)
+	return sb.String()
+}
+
+// Order returns the device tags in plot order.
+func (f Figure) Order() []string {
+	out := make([]string, len(f.Points))
+	for i, p := range f.Points {
+		out[i] = p.Tag
+	}
+	return out
+}
+
+// MultiSeries renders several aligned series (e.g. Figure 2's UDP-1/2/3
+// or Figure 8's four throughput series), ordered by the first series.
+func MultiSeries(title, unit string, order []string, series map[string]map[string]float64, names []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s [%s]\n", title, unit)
+	fmt.Fprintf(&sb, "  %-5s", "dev")
+	for _, name := range names {
+		fmt.Fprintf(&sb, " %12s", name)
+	}
+	sb.WriteString("\n")
+	for _, tag := range order {
+		fmt.Fprintf(&sb, "  %-5s", tag)
+		for _, name := range names {
+			v, ok := series[name][tag]
+			if !ok {
+				fmt.Fprintf(&sb, " %12s", "-")
+				continue
+			}
+			fmt.Fprintf(&sb, " %12.2f", v)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Table2 renders the paper's Table 2: one row per device, one column
+// per test, a dot where the test passes.
+func Table2(matrices []probe.ICMPMatrix, sctp, dccp []probe.ConnResult, dns []probe.DNSResult) string {
+	type row struct {
+		tag  string
+		cell map[string]bool
+	}
+	cols := []string{"DCCP", "DNS/TCP", "DNS/UDP", "ICMP:Host", "SCTP"}
+	for _, pfx := range []string{"TCP", "UDP"} {
+		for k := netpkt.ICMPKind(0); k < netpkt.NumICMPKinds; k++ {
+			cols = append(cols, pfx+":"+k.String())
+		}
+	}
+	byTag := map[string]*row{}
+	ordered := []string{}
+	get := func(tag string) *row {
+		if r, ok := byTag[tag]; ok {
+			return r
+		}
+		r := &row{tag: tag, cell: map[string]bool{}}
+		byTag[tag] = r
+		ordered = append(ordered, tag)
+		return r
+	}
+	for _, m := range matrices {
+		r := get(m.Tag)
+		r.cell["ICMP:Host"] = m.Echo.Forwarded()
+		for k := netpkt.ICMPKind(0); k < netpkt.NumICMPKinds; k++ {
+			r.cell["TCP:"+k.String()] = m.TCP[k].Forwarded()
+			r.cell["UDP:"+k.String()] = m.UDP[k].Forwarded()
+		}
+	}
+	for _, c := range sctp {
+		get(c.Tag).cell["SCTP"] = c.OK
+	}
+	for _, c := range dccp {
+		get(c.Tag).cell["DCCP"] = c.OK
+	}
+	for _, d := range dns {
+		r := get(d.Tag)
+		r.cell["DNS/UDP"] = d.UDPAnswers
+		r.cell["DNS/TCP"] = d.TCPAnswers
+	}
+	sort.Strings(ordered)
+
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("%-6s", "tag"))
+	for i := range cols {
+		sb.WriteString(fmt.Sprintf(" %2d", i+1))
+	}
+	sb.WriteString("   (columns below)\n")
+	for _, tag := range ordered {
+		r := byTag[tag]
+		sb.WriteString(fmt.Sprintf("%-6s", tag))
+		dots := 0
+		for _, c := range cols {
+			if r.cell[c] {
+				sb.WriteString("  •")
+				dots++
+			} else {
+				sb.WriteString("  .")
+			}
+		}
+		sb.WriteString(fmt.Sprintf("   [%d]\n", dots))
+	}
+	sb.WriteString("\ncolumns: ")
+	for i, c := range cols {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(fmt.Sprintf("%d=%s", i+1, c))
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// CompareRow is one paper-vs-measured comparison line for EXPERIMENTS.md.
+type CompareRow struct {
+	Item     string
+	Paper    string
+	Measured string
+	Match    bool
+}
+
+// CompareTable renders comparison rows as markdown.
+func CompareTable(rows []CompareRow) string {
+	var sb strings.Builder
+	sb.WriteString("| item | paper | measured | agrees |\n|---|---|---|---|\n")
+	for _, r := range rows {
+		mark := "yes"
+		if !r.Match {
+			mark = "≈ (see notes)"
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s |\n", r.Item, r.Paper, r.Measured, mark)
+	}
+	return sb.String()
+}

@@ -1,0 +1,124 @@
+package sim
+
+import "time"
+
+// Chan is an unbounded, simulator-aware FIFO channel. Senders never
+// block; receivers are simulator processes that park until a value
+// arrives or their deadline passes. Send may be called from event
+// callbacks (scheduler context) or from processes.
+type Chan[T any] struct {
+	s       *Sim
+	buf     []T
+	waiters []*chanWaiter[T]
+	closed  bool
+}
+
+type chanWaiter[T any] struct {
+	p        *Proc
+	val      T
+	ok       bool
+	resolved bool
+	timeout  *Event
+}
+
+// NewChan returns an empty channel bound to s.
+func NewChan[T any](s *Sim) *Chan[T] {
+	return &Chan[T]{s: s}
+}
+
+// Len returns the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Send enqueues v, waking the oldest waiting receiver if any. Sending on
+// a closed channel is a no-op (the value is dropped), mirroring how a
+// network delivers packets to a closed socket.
+func (c *Chan[T]) Send(v T) {
+	if c.closed {
+		return
+	}
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.resolved {
+			continue
+		}
+		w.val, w.ok, w.resolved = v, true, true
+		if w.timeout != nil {
+			w.timeout.Cancel()
+		}
+		w.p.scheduleWake()
+		return
+	}
+	c.buf = append(c.buf, v)
+}
+
+// Close marks the channel closed, waking all waiting receivers with
+// ok=false. Buffered values remain receivable.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, w := range c.waiters {
+		if w.resolved {
+			continue
+		}
+		w.resolved = true
+		if w.timeout != nil {
+			w.timeout.Cancel()
+		}
+		w.p.scheduleWake()
+	}
+	c.waiters = nil
+}
+
+// Closed reports whether Close was called.
+func (c *Chan[T]) Closed() bool { return c.closed }
+
+// Recv dequeues the next value for process p. timeout <= 0 means wait
+// forever. ok is false if the deadline passed (or the channel was closed)
+// before a value arrived.
+func (c *Chan[T]) Recv(p *Proc, timeout time.Duration) (v T, ok bool) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		var zero T
+		c.buf[0] = zero
+		c.buf = c.buf[1:]
+		return v, true
+	}
+	if c.closed {
+		return v, false
+	}
+	w := &chanWaiter[T]{p: p}
+	if timeout > 0 {
+		w.timeout = c.s.After(timeout, func() {
+			if w.resolved {
+				return
+			}
+			w.resolved = true
+			p.scheduleWake()
+		})
+	}
+	c.waiters = append(c.waiters, w)
+	p.park()
+	return w.val, w.ok
+}
+
+// TryRecv dequeues a value without blocking.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.buf) == 0 {
+		return v, false
+	}
+	v = c.buf[0]
+	var zero T
+	c.buf[0] = zero
+	c.buf = c.buf[1:]
+	return v, true
+}
+
+// Drain discards all buffered values and returns how many were dropped.
+func (c *Chan[T]) Drain() int {
+	n := len(c.buf)
+	c.buf = nil
+	return n
+}

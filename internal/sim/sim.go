@@ -1,0 +1,279 @@
+// Package sim provides a deterministic discrete-event simulator with
+// virtual time and cooperatively scheduled processes.
+//
+// The simulator owns a virtual clock (nanosecond resolution, starting at
+// zero) and a priority queue of events. Network elements (links, queues,
+// NAT timers) schedule plain callback events with At or After. Active
+// entities that are most naturally written as sequential code (probers,
+// protocol clients) run as processes: goroutines that are scheduled
+// cooperatively so that exactly one goroutine — the scheduler or a single
+// process — runs at any moment. This gives race-free, fully reproducible
+// runs: the same program always produces the same event ordering, and a
+// simulated 24-hour experiment completes in milliseconds of wall time.
+//
+// Processes block only through the simulator's own primitives (Sleep,
+// Chan.Recv, Join). Blocking on anything else would stall the scheduler.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an absolute instant on the simulator's virtual clock, expressed
+// as the duration since the start of the simulation.
+type Time = time.Duration
+
+// event is a scheduled callback.
+type event struct {
+	at       Time
+	seq      uint64 // tie-breaker: FIFO among equal timestamps
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 if popped
+}
+
+// Event is a handle to a scheduled callback that can be canceled.
+type Event struct{ ev *event }
+
+// Cancel prevents the event's callback from running. Canceling an event
+// that already fired (or was already canceled) is a no-op.
+func (e *Event) Cancel() {
+	if e != nil && e.ev != nil {
+		e.ev.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e != nil && e.ev != nil && e.ev.canceled }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a discrete-event simulator instance. The zero value is not
+// usable; create one with New.
+type Sim struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	token   chan struct{} // returned to the scheduler when a process parks or exits
+	procs   int           // live (not yet exited) processes
+	parked  int           // processes currently parked
+	stopped bool
+	running bool
+	label   func() string // optional diagnostics
+}
+
+// New returns a simulator whose random source is seeded with seed.
+// The same seed always yields the same simulation trajectory.
+func New(seed int64) *Sim {
+	return &Sim{
+		rng:   rand.New(rand.NewSource(seed)),
+		token: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// After schedules fn to run after delay d (non-negative) and returns a
+// cancelable handle.
+func (s *Sim) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// At schedules fn to run at absolute virtual time t. Times in the past
+// are clamped to the current time.
+func (s *Sim) At(t Time, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, ev)
+	return &Event{ev: ev}
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events in timestamp order until no events remain, the
+// horizon (if positive) is reached, or Stop is called. It returns the
+// virtual time at which the simulation ended.
+//
+// When the event queue drains while processes are still parked, the
+// simulation simply ends (the processes are blocked forever); Stalled
+// reports how many.
+func (s *Sim) Run(horizon time.Duration) Time {
+	if s.running {
+		panic("sim: Run called reentrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for !s.stopped && len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		if horizon > 0 && ev.at > horizon {
+			// Put it back for a potential later Run call.
+			heap.Push(&s.events, ev)
+			s.now = horizon
+			return s.now
+		}
+		s.now = ev.at
+		ev.fn()
+	}
+	return s.now
+}
+
+// Stalled returns the number of processes parked with no pending wake
+// event. It is only meaningful after Run returns.
+func (s *Sim) Stalled() int { return s.parked }
+
+// Pending returns the number of scheduled (uncanceled) events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, ev := range s.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// A Proc is a cooperatively scheduled simulator process. All methods
+// must be called from the process's own goroutine.
+type Proc struct {
+	s       *Sim
+	name    string
+	resume  chan struct{}
+	exited  bool
+	joiners []*Proc
+	// wakeArmed guards against double wake-ups: each park consumes
+	// exactly one wake.
+	wakeArmed bool
+}
+
+// Name returns the name given to Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulator the process belongs to.
+func (p *Proc) Sim() *Sim { return p.s }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.s.now }
+
+// Spawn starts fn as a new simulator process at the current virtual
+// time. fn begins executing when the scheduler reaches the start event.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{s: s, name: name, resume: make(chan struct{})}
+	s.procs++
+	s.At(s.now, func() {
+		go func() {
+			<-p.resume
+			fn(p)
+			p.exited = true
+			s.procs--
+			for _, j := range p.joiners {
+				j.scheduleWake()
+			}
+			p.joiners = nil
+			s.token <- struct{}{}
+		}()
+		p.handoff()
+	})
+	return p
+}
+
+// handoff transfers control to the process goroutine and blocks until it
+// parks again or exits. It must run in scheduler (event callback) context.
+func (p *Proc) handoff() {
+	p.resume <- struct{}{}
+	<-p.s.token
+}
+
+// park yields control back to the scheduler until the process is woken.
+// Exactly one wake must be armed (scheduled) per park.
+func (p *Proc) park() {
+	p.s.parked++
+	p.wakeArmed = true
+	p.s.token <- struct{}{}
+	<-p.resume
+	p.s.parked--
+}
+
+// scheduleWake arranges for the process to resume at the current virtual
+// time. It is safe to call from scheduler or process context; the actual
+// handoff happens in a fresh event. Calling it when no park is armed is
+// a no-op (the waker lost a race that was already resolved).
+func (p *Proc) scheduleWake() {
+	if !p.wakeArmed || p.exited {
+		return
+	}
+	p.wakeArmed = false
+	p.s.At(p.s.now, p.handoff)
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d <= 0 {
+		// Yield: reschedule after already-queued events at this instant.
+		p.s.At(p.s.now, func() { p.scheduleWake() })
+		p.park()
+		return
+	}
+	p.s.After(d, func() { p.scheduleWake() })
+	p.park()
+}
+
+// Join blocks until q exits. Joining an already-exited process returns
+// immediately.
+func (p *Proc) Join(q *Proc) {
+	if q.exited {
+		return
+	}
+	q.joiners = append(q.joiners, p)
+	p.park()
+}
+
+// Exited reports whether the process function has returned.
+func (p *Proc) Exited() bool { return p.exited }
+
+// String implements fmt.Stringer.
+func (p *Proc) String() string { return fmt.Sprintf("proc(%s)", p.name) }

@@ -1,0 +1,326 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.After(3*time.Second, func() { order = append(order, 3) })
+	s.After(1*time.Second, func() { order = append(order, 1) })
+	s.After(2*time.Second, func() { order = append(order, 2) })
+	end := s.Run(0)
+	if end != 3*time.Second {
+		t.Fatalf("end = %v, want 3s", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestEventTieFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Second, func() { order = append(order, i) })
+	}
+	s.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	ev := s.After(time.Second, func() { fired = true })
+	ev.Cancel()
+	s.Run(0)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false")
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.After(time.Second, func() { fired++ })
+	s.After(time.Minute, func() { fired++ })
+	end := s.Run(10 * time.Second)
+	if fired != 1 || end != 10*time.Second {
+		t.Fatalf("fired=%d end=%v", fired, end)
+	}
+	// Continuing past the horizon runs the rest.
+	end = s.Run(0)
+	if fired != 2 || end != time.Minute {
+		t.Fatalf("fired=%d end=%v", fired, end)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	s := New(1)
+	var at []Time
+	s.Spawn("sleeper", func(p *Proc) {
+		at = append(at, p.Now())
+		p.Sleep(5 * time.Second)
+		at = append(at, p.Now())
+		p.Sleep(time.Second)
+		at = append(at, p.Now())
+	})
+	s.Run(0)
+	want := []Time{0, 5 * time.Second, 6 * time.Second}
+	if len(at) != 3 || at[0] != want[0] || at[1] != want[1] || at[2] != want[2] {
+		t.Fatalf("at = %v, want %v", at, want)
+	}
+}
+
+func TestProcSleepZeroYields(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	s.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+		p.Sleep(0)
+		order = append(order, "b2")
+	})
+	s.Run(0)
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	if order[0] != "a1" || order[1] != "b1" {
+		t.Fatalf("first phase order = %v", order)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	s := New(1)
+	var done Time = -1
+	child := s.Spawn("child", func(p *Proc) { p.Sleep(7 * time.Second) })
+	s.Spawn("parent", func(p *Proc) {
+		p.Join(child)
+		done = p.Now()
+	})
+	s.Run(0)
+	if done != 7*time.Second {
+		t.Fatalf("join completed at %v, want 7s", done)
+	}
+	if !child.Exited() {
+		t.Fatal("child not exited")
+	}
+}
+
+func TestJoinExited(t *testing.T) {
+	s := New(1)
+	child := s.Spawn("child", func(p *Proc) {})
+	joined := false
+	s.Spawn("parent", func(p *Proc) {
+		p.Sleep(time.Second)
+		p.Join(child) // already exited; must not hang
+		joined = true
+	})
+	s.Run(0)
+	if !joined {
+		t.Fatal("join on exited process hung")
+	}
+}
+
+func TestChanSendRecv(t *testing.T) {
+	s := New(1)
+	c := NewChan[int](s)
+	var got []int
+	var at []Time
+	s.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			v, ok := c.Recv(p, 0)
+			if !ok {
+				t.Errorf("recv %d failed", i)
+				return
+			}
+			got = append(got, v)
+			at = append(at, p.Now())
+		}
+	})
+	s.After(time.Second, func() { c.Send(10) })
+	s.After(2*time.Second, func() { c.Send(20); c.Send(30) })
+	s.Run(0)
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("got = %v", got)
+	}
+	if at[0] != time.Second || at[1] != 2*time.Second || at[2] != 2*time.Second {
+		t.Fatalf("at = %v", at)
+	}
+}
+
+func TestChanRecvTimeout(t *testing.T) {
+	s := New(1)
+	c := NewChan[int](s)
+	var okFirst, okSecond bool
+	var tEnd Time
+	s.Spawn("recv", func(p *Proc) {
+		_, okFirst = c.Recv(p, 3*time.Second)
+		tEnd = p.Now()
+		v, ok := c.Recv(p, 3*time.Second)
+		okSecond = ok && v == 42
+	})
+	s.After(4*time.Second, func() { c.Send(42) })
+	s.Run(0)
+	if okFirst {
+		t.Fatal("first recv should time out")
+	}
+	if tEnd != 3*time.Second {
+		t.Fatalf("timeout at %v, want 3s", tEnd)
+	}
+	if !okSecond {
+		t.Fatal("second recv should get 42")
+	}
+}
+
+func TestChanBufferedBeforeRecv(t *testing.T) {
+	s := New(1)
+	c := NewChan[string](s)
+	c.Send("early")
+	var got string
+	s.Spawn("recv", func(p *Proc) { got, _ = c.Recv(p, 0) })
+	s.Run(0)
+	if got != "early" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestChanClose(t *testing.T) {
+	s := New(1)
+	c := NewChan[int](s)
+	okc := true
+	s.Spawn("recv", func(p *Proc) { _, okc = c.Recv(p, 0) })
+	s.After(time.Second, func() { c.Close() })
+	s.Run(0)
+	if okc {
+		t.Fatal("recv on closed chan should return ok=false")
+	}
+	c.Send(1)
+	if c.Len() != 0 {
+		t.Fatal("send after close should drop")
+	}
+}
+
+func TestChanTryRecvAndDrain(t *testing.T) {
+	s := New(1)
+	c := NewChan[int](s)
+	if _, ok := c.TryRecv(); ok {
+		t.Fatal("TryRecv on empty chan")
+	}
+	c.Send(1)
+	c.Send(2)
+	if v, ok := c.TryRecv(); !ok || v != 1 {
+		t.Fatalf("TryRecv = %d,%v", v, ok)
+	}
+	if n := c.Drain(); n != 1 {
+		t.Fatalf("Drain = %d", n)
+	}
+}
+
+func TestStalledReported(t *testing.T) {
+	s := New(1)
+	c := NewChan[int](s)
+	s.Spawn("stuck", func(p *Proc) { c.Recv(p, 0) })
+	s.Run(0)
+	if s.Stalled() != 1 {
+		t.Fatalf("Stalled = %d, want 1", s.Stalled())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		s := New(42)
+		c := NewChan[int](s)
+		var ts []Time
+		for i := 0; i < 5; i++ {
+			s.Spawn("p", func(p *Proc) {
+				d := time.Duration(s.Rand().Intn(1000)) * time.Millisecond
+				p.Sleep(d)
+				c.Send(1)
+			})
+		}
+		s.Spawn("recv", func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				c.Recv(p, 0)
+				ts = append(ts, p.Now())
+			}
+		})
+		s.Run(0)
+		return ts
+	}
+	a, b := run(), run()
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("lens %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run differs at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestManyProcesses(t *testing.T) {
+	s := New(1)
+	const n = 200
+	count := 0
+	for i := 0; i < n; i++ {
+		i := i
+		s.Spawn("w", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond)
+			count++
+		})
+	}
+	s.Run(0)
+	if count != n {
+		t.Fatalf("count = %d", count)
+	}
+	if s.Stalled() != 0 {
+		t.Fatalf("stalled = %d", s.Stalled())
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	s := New(1)
+	var childRan bool
+	s.Spawn("parent", func(p *Proc) {
+		child := s.Spawn("child", func(q *Proc) {
+			q.Sleep(time.Second)
+			childRan = true
+		})
+		p.Join(child)
+		if !childRan {
+			t.Error("join returned before child finished")
+		}
+	})
+	s.Run(0)
+	if !childRan {
+		t.Fatal("child did not run")
+	}
+}
+
+func TestPending(t *testing.T) {
+	s := New(1)
+	e1 := s.After(time.Second, func() {})
+	s.After(2*time.Second, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	e1.Cancel()
+	if s.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d", s.Pending())
+	}
+}

@@ -1,0 +1,423 @@
+// Package stack implements the host IPv4 network stack used by the test
+// client, the test server, and the control planes of the emulated home
+// gateways: interface management, ARP, a routing table supporting the
+// paper's "interface-specific routes only" client configuration, ICMP
+// processing, and demultiplexing to transport protocols.
+package stack
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"hgw/internal/netem"
+	"hgw/internal/netpkt"
+	"hgw/internal/sim"
+)
+
+// DefaultTTL is the initial TTL of locally originated packets.
+const DefaultTTL = 64
+
+// arpTimeout is how long a packet waits for ARP resolution before it is
+// dropped.
+const arpTimeout = time.Second
+
+// ProtoHandler receives a locally addressed IP packet for one transport
+// protocol.
+type ProtoHandler func(ifc *NetIf, ip *netpkt.IPv4)
+
+// ICMPListener observes ICMP messages addressed to the host. For error
+// messages, inner is the parsed embedded datagram (nil if unparseable).
+type ICMPListener func(from netip.Addr, ic *netpkt.ICMP, inner *netpkt.IPv4)
+
+// Host is an IPv4 endpoint with one or more interfaces.
+type Host struct {
+	S    *sim.Sim
+	Name string
+
+	ifaces []*NetIf
+	routes []Route
+	protos map[uint8]ProtoHandler
+
+	icmpListeners []ICMPListener
+
+	// RawHook, if set, sees every received IPv4 packet (local or not)
+	// before normal processing; returning true consumes the packet. The
+	// ICMP prober uses it to "hijack" flows as in the paper's §3.2.3.
+	RawHook func(ifc *NetIf, ip *netpkt.IPv4) bool
+
+	// ForwardHook, if set, receives packets whose destination is not
+	// local. Home gateways install their NAT engine here. Without it,
+	// non-local packets are dropped (hosts do not forward).
+	ForwardHook func(ifc *NetIf, ip *netpkt.IPv4)
+
+	// DropBadIPChecksum controls whether packets failing IP header
+	// checksum verification are discarded (true for ordinary hosts).
+	DropBadIPChecksum bool
+
+	ipID      uint16
+	ethSerial uint64
+}
+
+// NewHost creates a host with no interfaces.
+func NewHost(s *sim.Sim, name string) *Host {
+	return &Host{
+		S:                 s,
+		Name:              name,
+		protos:            make(map[uint8]ProtoHandler),
+		DropBadIPChecksum: true,
+	}
+}
+
+// Route is a routing-table entry. Packets matching Prefix are sent out
+// If toward NextHop (or directly to the destination if NextHop is the
+// zero Addr, i.e. an on-link route).
+type Route struct {
+	Prefix  netip.Prefix
+	NextHop netip.Addr
+	If      *NetIf
+}
+
+// NetIf is a configured network interface of a Host.
+type NetIf struct {
+	Host  *Host
+	Link  *netem.Iface
+	Addr  netip.Addr
+	Plen  int // prefix length of the connected subnet
+	name  string
+	arp   map[netip.Addr]netpkt.MAC
+	await map[netip.Addr][]*netpkt.IPv4
+}
+
+// Name returns the interface name.
+func (n *NetIf) Name() string { return n.name }
+
+// Prefix returns the connected subnet.
+func (n *NetIf) Prefix() netip.Prefix {
+	p, _ := n.Addr.Prefix(n.Plen)
+	return p
+}
+
+// NewMAC returns a deterministic, host-unique MAC address.
+func (h *Host) NewMAC() netpkt.MAC {
+	h.ethSerial++
+	var m netpkt.MAC
+	m[0] = 0x02 // locally administered
+	sum := uint64(0)
+	for _, c := range h.Name {
+		sum = sum*131 + uint64(c)
+	}
+	m[1] = byte(sum >> 8)
+	m[2] = byte(sum)
+	m[3] = byte(h.ethSerial >> 16)
+	m[4] = byte(h.ethSerial >> 8)
+	m[5] = byte(h.ethSerial)
+	return m
+}
+
+// AddIf creates an interface with the given name and (possibly zero)
+// address. The returned NetIf's Link field is ready to be connected with
+// netem.Connect.
+func (h *Host) AddIf(name string, addr netip.Addr, plen int) *NetIf {
+	n := &NetIf{
+		Host:  h,
+		Addr:  addr,
+		Plen:  plen,
+		name:  name,
+		arp:   make(map[netip.Addr]netpkt.MAC),
+		await: make(map[netip.Addr][]*netpkt.IPv4),
+	}
+	n.Link = &netem.Iface{Name: h.Name + "." + name, MAC: h.NewMAC()}
+	n.Link.Recv = func(f *netpkt.Frame) { h.recvFrame(n, f) }
+	h.ifaces = append(h.ifaces, n)
+	if addr.IsValid() && plen > 0 {
+		h.AddRoute(n.Prefix(), netip.Addr{}, n)
+	}
+	return n
+}
+
+// SetAddr reconfigures an interface address (e.g. after DHCP) and
+// installs the connected route.
+func (n *NetIf) SetAddr(addr netip.Addr, plen int) {
+	n.Addr = addr
+	n.Plen = plen
+	n.Host.AddRoute(n.Prefix(), netip.Addr{}, n)
+}
+
+// Ifaces returns the host's interfaces.
+func (h *Host) Ifaces() []*NetIf { return h.ifaces }
+
+// AddRoute installs a route. More-specific prefixes win; among equal
+// lengths the most recently added wins.
+func (h *Host) AddRoute(prefix netip.Prefix, nextHop netip.Addr, ifc *NetIf) {
+	h.routes = append(h.routes, Route{Prefix: prefix, NextHop: nextHop, If: ifc})
+}
+
+// RemoveRoutesVia removes all routes using the given interface.
+func (h *Host) RemoveRoutesVia(ifc *NetIf) {
+	out := h.routes[:0]
+	for _, r := range h.routes {
+		if r.If != ifc {
+			out = append(out, r)
+		}
+	}
+	h.routes = out
+}
+
+// Lookup finds the best route for dst (longest prefix; latest tie-break).
+func (h *Host) Lookup(dst netip.Addr) (Route, bool) {
+	best := -1
+	var found Route
+	for _, r := range h.routes {
+		if r.Prefix.Contains(dst) && r.Prefix.Bits() >= best {
+			best = r.Prefix.Bits()
+			found = r
+		}
+	}
+	return found, best >= 0
+}
+
+// Handle registers the handler for an IP protocol number.
+func (h *Host) Handle(proto uint8, fn ProtoHandler) { h.protos[proto] = fn }
+
+// ListenICMP registers an ICMP observer.
+func (h *Host) ListenICMP(fn ICMPListener) { h.icmpListeners = append(h.icmpListeners, fn) }
+
+// NextIPID returns a fresh IP identification value.
+func (h *Host) NextIPID() uint16 {
+	h.ipID++
+	return h.ipID
+}
+
+// Send routes and transmits an IP packet. The TTL and ID fields are
+// filled in if zero. Packets with no route are dropped and false is
+// returned.
+func (h *Host) Send(ip *netpkt.IPv4) bool {
+	r, ok := h.Lookup(ip.Dst)
+	if !ok {
+		return false
+	}
+	nh := r.NextHop
+	if !nh.IsValid() {
+		nh = ip.Dst
+	}
+	h.SendVia(r.If, nh, ip)
+	return true
+}
+
+// SendVia transmits ip out of a specific interface toward nextHop,
+// resolving the next hop's MAC with ARP as needed.
+func (h *Host) SendVia(ifc *NetIf, nextHop netip.Addr, ip *netpkt.IPv4) {
+	if ip.TTL == 0 {
+		ip.TTL = DefaultTTL
+	}
+	if ip.ID == 0 {
+		ip.ID = h.NextIPID()
+	}
+	if !ip.Src.IsValid() {
+		ip.Src = ifc.Addr
+	}
+	if ip.Dst == netip.AddrFrom4([4]byte{255, 255, 255, 255}) {
+		ifc.Link.Send(&netpkt.Frame{
+			Dst: netpkt.BroadcastMAC, Src: ifc.Link.MAC,
+			Type: netpkt.EtherTypeIPv4, Payload: ip.Marshal(),
+		})
+		return
+	}
+	if mac, ok := ifc.arp[nextHop]; ok {
+		ifc.Link.Send(&netpkt.Frame{
+			Dst: mac, Src: ifc.Link.MAC,
+			Type: netpkt.EtherTypeIPv4, Payload: ip.Marshal(),
+		})
+		return
+	}
+	// Queue behind ARP resolution.
+	first := len(ifc.await[nextHop]) == 0
+	ifc.await[nextHop] = append(ifc.await[nextHop], ip)
+	if first {
+		ifc.sendARPRequest(nextHop)
+		h.S.After(arpTimeout, func() {
+			if _, ok := ifc.arp[nextHop]; !ok {
+				delete(ifc.await, nextHop) // unresolved: drop the queue
+			}
+		})
+	}
+}
+
+func (n *NetIf) sendARPRequest(target netip.Addr) {
+	req := &netpkt.ARP{
+		Op:        netpkt.ARPRequest,
+		SenderMAC: n.Link.MAC,
+		SenderIP:  n.Addr,
+		TargetIP:  target,
+	}
+	n.Link.Send(&netpkt.Frame{
+		Dst: netpkt.BroadcastMAC, Src: n.Link.MAC,
+		Type: netpkt.EtherTypeARP, Payload: req.Marshal(),
+	})
+}
+
+// AddARP seeds a static ARP entry (used by tests and by DHCP clients that
+// learned the server's MAC from the exchange).
+func (n *NetIf) AddARP(addr netip.Addr, mac netpkt.MAC) { n.arp[addr] = mac }
+
+func (h *Host) recvFrame(ifc *NetIf, f *netpkt.Frame) {
+	if !f.Dst.IsBroadcast() && f.Dst != ifc.Link.MAC {
+		return // not for us (switch flooded it)
+	}
+	switch f.Type {
+	case netpkt.EtherTypeARP:
+		h.recvARP(ifc, f)
+	case netpkt.EtherTypeIPv4:
+		h.recvIP(ifc, f)
+	}
+}
+
+func (h *Host) recvARP(ifc *NetIf, f *netpkt.Frame) {
+	a, err := netpkt.ParseARP(f.Payload)
+	if err != nil {
+		return
+	}
+	if a.SenderIP.IsValid() && !a.SenderMAC.IsZero() {
+		ifc.arp[a.SenderIP] = a.SenderMAC
+		// Flush packets waiting on this resolution.
+		if q := ifc.await[a.SenderIP]; len(q) > 0 {
+			delete(ifc.await, a.SenderIP)
+			for _, ip := range q {
+				h.SendVia(ifc, a.SenderIP, ip)
+			}
+		}
+	}
+	if a.Op == netpkt.ARPRequest && a.TargetIP == ifc.Addr && ifc.Addr.IsValid() {
+		reply := &netpkt.ARP{
+			Op:        netpkt.ARPReply,
+			SenderMAC: ifc.Link.MAC,
+			SenderIP:  ifc.Addr,
+			TargetMAC: a.SenderMAC,
+			TargetIP:  a.SenderIP,
+		}
+		ifc.Link.Send(&netpkt.Frame{
+			Dst: a.SenderMAC, Src: ifc.Link.MAC,
+			Type: netpkt.EtherTypeARP, Payload: reply.Marshal(),
+		})
+	}
+}
+
+// IsLocal reports whether addr is assigned to one of the host's
+// interfaces or is a broadcast address.
+func (h *Host) IsLocal(addr netip.Addr) bool {
+	if addr == netip.AddrFrom4([4]byte{255, 255, 255, 255}) {
+		return true
+	}
+	for _, n := range h.ifaces {
+		if n.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *Host) recvIP(ifc *NetIf, f *netpkt.Frame) {
+	ip, err := netpkt.ParseIPv4(f.Payload)
+	if err != nil {
+		if ip == nil {
+			return
+		}
+		if err == netpkt.ErrBadChecksum && h.DropBadIPChecksum {
+			return
+		}
+	}
+	if h.RawHook != nil && h.RawHook(ifc, ip) {
+		return
+	}
+	if !h.IsLocal(ip.Dst) {
+		if h.ForwardHook != nil {
+			h.ForwardHook(ifc, ip)
+		}
+		return
+	}
+	// Honor Record Route for locally delivered packets (few gateways do
+	// on the forwarding path; the quirk lives in the gateway package).
+	if len(ip.Options) > 0 {
+		netpkt.RecordRoute(ip.Options, ifc.Addr)
+	}
+	if ip.Protocol == netpkt.ProtoICMP {
+		h.recvICMP(ifc, ip)
+		return
+	}
+	if fn, ok := h.protos[ip.Protocol]; ok {
+		fn(ifc, ip)
+		return
+	}
+	// No handler: emit Protocol Unreachable, mirroring a real host.
+	h.SendICMPError(ip, netpkt.ICMPDestUnreachable, netpkt.ICMPCodeProtoUnreachable, 0)
+}
+
+func (h *Host) recvICMP(ifc *NetIf, ip *netpkt.IPv4) {
+	ic, err := netpkt.ParseICMP(ip.Payload, true)
+	if err != nil {
+		return
+	}
+	if ic.Type == netpkt.ICMPEchoRequest {
+		reply := &netpkt.ICMP{Type: netpkt.ICMPEchoReply, Rest: ic.Rest, Body: ic.Body}
+		h.Send(&netpkt.IPv4{
+			Protocol: netpkt.ProtoICMP,
+			Src:      ip.Dst, Dst: ip.Src,
+			Payload: reply.Marshal(),
+		})
+		return
+	}
+	var inner *netpkt.IPv4
+	if ic.IsError() && len(ic.Body) >= 20 {
+		inner, _ = netpkt.ParseIPv4Lenient(ic.Body)
+	}
+	for _, fn := range h.icmpListeners {
+		fn(ip.Src, ic, inner)
+	}
+}
+
+// SendICMPError emits an ICMP error about the received packet orig,
+// embedding its IP header plus up to 64 bytes of payload (enough for any
+// full transport header, so NATs can translate and re-checksum the
+// embedded headers). rest is the second header word (e.g. next-hop MTU
+// for Fragmentation Needed).
+func (h *Host) SendICMPError(orig *netpkt.IPv4, typ, code uint8, rest uint32) bool {
+	// Never generate errors about ICMP errors (RFC 1122).
+	if orig.Protocol == netpkt.ProtoICMP {
+		if ic, err := netpkt.ParseICMP(orig.Payload, false); err == nil && ic.IsError() {
+			return false
+		}
+	}
+	body := orig.Marshal()
+	maxBody := orig.HeaderLen() + 64
+	if len(body) > maxBody {
+		body = body[:maxBody]
+	}
+	ic := &netpkt.ICMP{Type: typ, Code: code, Rest: rest, Body: body}
+	return h.Send(&netpkt.IPv4{
+		Protocol: netpkt.ProtoICMP,
+		Dst:      orig.Src,
+		Payload:  ic.Marshal(),
+	})
+}
+
+// Ping sends an ICMP echo request to dst and returns true when a reply
+// arrives within timeout. It must be called from a simulator process.
+func (h *Host) Ping(p *sim.Proc, dst netip.Addr, timeout time.Duration) bool {
+	id := uint32(h.NextIPID())<<16 | 1
+	got := sim.NewChan[struct{}](h.S)
+	h.ListenICMP(func(from netip.Addr, ic *netpkt.ICMP, inner *netpkt.IPv4) {
+		if ic.Type == netpkt.ICMPEchoReply && ic.Rest == id {
+			got.Send(struct{}{})
+		}
+	})
+	req := &netpkt.ICMP{Type: netpkt.ICMPEchoRequest, Rest: id, Body: []byte("hgw-ping")}
+	if !h.Send(&netpkt.IPv4{Protocol: netpkt.ProtoICMP, Dst: dst, Payload: req.Marshal()}) {
+		return false
+	}
+	_, ok := got.Recv(p, timeout)
+	return ok
+}
+
+// String implements fmt.Stringer.
+func (h *Host) String() string { return fmt.Sprintf("host(%s)", h.Name) }

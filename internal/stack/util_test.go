@@ -1,0 +1,21 @@
+package stack
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// Aliases keeping the main test file terse.
+type (
+	netipPrefix = netip.Prefix
+	netipAddr   = netip.Addr
+)
+
+func parsePrefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatalf("ParsePrefix(%q): %v", s, err)
+	}
+	return p
+}

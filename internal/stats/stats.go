@@ -1,0 +1,135 @@
+// Package stats provides the summary statistics used throughout the
+// paper's evaluation: per-device medians and quartiles over repeated
+// measurements, plus population medians and means across the device set.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs (NaN for empty input). The input is
+// not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	// Halve before adding so extreme magnitudes cannot overflow.
+	return cp[n/2-1]/2 + cp[n/2]/2
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if q <= 0 {
+		return cp[0]
+	}
+	if q >= 1 {
+		return cp[len(cp)-1]
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Min returns the smallest value (NaN for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value (NaN for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Summary is the five-number-ish summary the paper plots per device:
+// the median with first and third quartiles as error bars.
+type Summary struct {
+	N              int
+	Median         float64
+	Q1, Q3         float64
+	Mean, Min, Max float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Median: Median(xs),
+		Q1:     Quantile(xs, 0.25),
+		Q3:     Quantile(xs, 0.75),
+		Mean:   Mean(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+	}
+}
+
+// IQR returns the inter-quartile range of a Summary.
+func (s Summary) IQR() float64 { return s.Q3 - s.Q1 }
+
+// DevicePoint is one device's summarized result, for population plots.
+type DevicePoint struct {
+	Tag string
+	Summary
+}
+
+// Population sorts points by ascending median (the paper's x-axis
+// convention) and returns them with the population median and mean of
+// the per-device medians.
+func Population(points []DevicePoint) (sorted []DevicePoint, median, mean float64) {
+	sorted = append([]DevicePoint(nil), points...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Median < sorted[j].Median
+	})
+	meds := make([]float64, 0, len(sorted))
+	for _, p := range sorted {
+		meds = append(meds, p.Median)
+	}
+	return sorted, Median(meds), Mean(meds)
+}

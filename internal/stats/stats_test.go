@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 2, 3}, 2.5},
+		{[]float64{7}, 7},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) not NaN")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{2, 4, 6}
+	if Mean(xs) != 4 || Min(xs) != 2 || Max(xs) != 6 {
+		t.Errorf("Mean/Min/Max = %v %v %v", Mean(xs), Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty input should give NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Error("extremes wrong")
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("q50 = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("q25 = %v", got)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		xs := []float64{a, b, c, d}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		return Quantile(xs, 0.25) <= Quantile(xs, 0.5) &&
+			Quantile(xs, 0.5) <= Quantile(xs, 0.75)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 100})
+	if s.N != 5 || s.Median != 3 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.IQR() <= 0 {
+		t.Error("IQR should be positive")
+	}
+}
+
+func TestPopulationSorting(t *testing.T) {
+	pts := []DevicePoint{
+		{Tag: "b", Summary: Summarize([]float64{20})},
+		{Tag: "a", Summary: Summarize([]float64{10})},
+		{Tag: "c", Summary: Summarize([]float64{30})},
+	}
+	sorted, med, mean := Population(pts)
+	if sorted[0].Tag != "a" || sorted[2].Tag != "c" {
+		t.Errorf("order: %v %v %v", sorted[0].Tag, sorted[1].Tag, sorted[2].Tag)
+	}
+	if med != 20 || mean != 20 {
+		t.Errorf("median=%v mean=%v", med, mean)
+	}
+	// Input order preserved.
+	if pts[0].Tag != "b" {
+		t.Error("Population mutated input")
+	}
+}
+
+func TestMedianQuickMatchesQuantile(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		return math.Abs(Median(clean)-Quantile(clean, 0.5)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

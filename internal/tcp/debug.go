@@ -1,0 +1,5 @@
+package tcp
+
+// DebugRTO, when non-nil, is invoked at every retransmission timeout.
+// It exists for tests that diagnose loss-recovery behavior.
+var DebugRTO func(*Conn)

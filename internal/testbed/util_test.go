@@ -1,0 +1,21 @@
+package testbed
+
+import (
+	"net/netip"
+
+	"hgw/internal/dnsmsg"
+)
+
+func netipZero() netip.Addr { return netip.Addr{} }
+
+func dnsQuery(id uint16, name string) ([]byte, error) {
+	return dnsmsg.NewQuery(id, name).Marshal()
+}
+
+func dnsFirstA(b []byte) string {
+	m, err := dnsmsg.Parse(b)
+	if err != nil || len(m.Answers) == 0 {
+		return ""
+	}
+	return m.Answers[0].Addr.String()
+}

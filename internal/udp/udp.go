@@ -1,0 +1,303 @@
+// Package udp provides UDP sockets over the simulated host stack.
+package udp
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"hgw/internal/netpkt"
+	"hgw/internal/sim"
+	"hgw/internal/stack"
+)
+
+// Datagram is a received UDP datagram with its addressing metadata.
+type Datagram struct {
+	From     netip.Addr
+	FromPort uint16
+	To       netip.Addr
+	ToPort   uint16
+	TTL      uint8
+	If       *stack.NetIf // arrival interface
+	Data     []byte
+}
+
+// Stack manages the UDP sockets of one host.
+type Stack struct {
+	h        *stack.Host
+	s        *sim.Sim
+	conns    map[uint16][]*Conn // by local port
+	nextPort uint16
+
+	// GeneratePortUnreachable controls whether datagrams to closed
+	// ports trigger ICMP Port Unreachable (true for real hosts).
+	GeneratePortUnreachable bool
+}
+
+// New attaches a UDP stack to host h.
+func New(h *stack.Host) *Stack {
+	st := &Stack{
+		h:                       h,
+		s:                       h.S,
+		conns:                   make(map[uint16][]*Conn),
+		nextPort:                32768,
+		GeneratePortUnreachable: true,
+	}
+	h.Handle(netpkt.ProtoUDP, st.input)
+	return st
+}
+
+// Conn is a UDP socket. A Conn with a remote address set is "connected"
+// and receives only datagrams from that peer.
+type Conn struct {
+	st         *Stack
+	localAddr  netip.Addr   // zero = any local address
+	iface      *stack.NetIf // non-nil = only packets arriving on this interface
+	localPort  uint16
+	remoteAddr netip.Addr
+	remotePort uint16
+	rx         *sim.Chan[Datagram]
+	icmp       *sim.Chan[ICMPEvent]
+	closed     bool
+}
+
+// ICMPEvent reports an ICMP error received about this socket's traffic.
+type ICMPEvent struct {
+	From netip.Addr
+	Type uint8
+	Code uint8
+}
+
+var errPortInUse = errors.New("udp: port in use")
+
+// SetEphemeralBase moves the ephemeral port range (gateways use a range
+// distinct from their NAT pool and from client stacks).
+func (st *Stack) SetEphemeralBase(p uint16) { st.nextPort = p }
+
+// Bind opens a socket on the given local address and port. A zero addr
+// binds all addresses; port 0 picks an ephemeral port.
+func (st *Stack) Bind(addr netip.Addr, port uint16) (*Conn, error) {
+	return st.bind(addr, nil, port)
+}
+
+// BindIf opens a socket on port that only receives datagrams arriving on
+// interface ifc (needed when several interfaces run the same service,
+// e.g. one DHCP server per VLAN on the test server).
+func (st *Stack) BindIf(ifc *stack.NetIf, port uint16) (*Conn, error) {
+	return st.bind(netip.Addr{}, ifc, port)
+}
+
+func (st *Stack) bind(addr netip.Addr, ifc *stack.NetIf, port uint16) (*Conn, error) {
+	if port == 0 {
+		port = st.allocPort()
+		if port == 0 {
+			return nil, errPortInUse
+		}
+	} else {
+		for _, c := range st.conns[port] {
+			if c.localAddr == addr && c.iface == ifc && !c.remoteAddr.IsValid() {
+				return nil, fmt.Errorf("%w: %d", errPortInUse, port)
+			}
+		}
+	}
+	c := &Conn{
+		st:        st,
+		localAddr: addr,
+		iface:     ifc,
+		localPort: port,
+		rx:        sim.NewChan[Datagram](st.s),
+		icmp:      sim.NewChan[ICMPEvent](st.s),
+	}
+	st.conns[port] = append(st.conns[port], c)
+	return c, nil
+}
+
+// Dial opens a connected socket toward remote:rport from an ephemeral
+// local port.
+func (st *Stack) Dial(remote netip.Addr, rport uint16) (*Conn, error) {
+	c, err := st.Bind(netip.Addr{}, 0)
+	if err != nil {
+		return nil, err
+	}
+	c.remoteAddr = remote
+	c.remotePort = rport
+	return c, nil
+}
+
+func (st *Stack) allocPort() uint16 {
+	for i := 0; i < 65536; i++ {
+		p := st.nextPort
+		st.nextPort++
+		if st.nextPort == 0 {
+			st.nextPort = 32768
+		}
+		if p < 1024 {
+			continue
+		}
+		if len(st.conns[p]) == 0 {
+			return p
+		}
+	}
+	return 0
+}
+
+// LocalPort returns the bound local port.
+func (c *Conn) LocalPort() uint16 { return c.localPort }
+
+// RemoteAddr returns the connected peer address (zero if unconnected).
+func (c *Conn) RemoteAddr() (netip.Addr, uint16) { return c.remoteAddr, c.remotePort }
+
+// Close releases the socket.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	lst := c.st.conns[c.localPort]
+	for i, x := range lst {
+		if x == c {
+			c.st.conns[c.localPort] = append(lst[:i], lst[i+1:]...)
+			break
+		}
+	}
+	if len(c.st.conns[c.localPort]) == 0 {
+		delete(c.st.conns, c.localPort)
+	}
+	c.rx.Close()
+	c.icmp.Close()
+}
+
+// SendTo transmits a datagram to dst:dport. It returns false if the host
+// has no route.
+func (c *Conn) SendTo(dst netip.Addr, dport uint16, data []byte) bool {
+	return c.sendFrom(c.localAddr, dst, dport, data, 0)
+}
+
+// Send transmits on a connected socket.
+func (c *Conn) Send(data []byte) bool {
+	if !c.remoteAddr.IsValid() {
+		return false
+	}
+	return c.SendTo(c.remoteAddr, c.remotePort, data)
+}
+
+// SendWithOptions transmits with explicit IP options (e.g. Record Route).
+func (c *Conn) SendWithOptions(dst netip.Addr, dport uint16, data, ipOptions []byte) bool {
+	return c.sendFrom2(c.localAddr, dst, dport, data, 0, ipOptions)
+}
+
+// SendTTL transmits with an explicit TTL (0 = default).
+func (c *Conn) SendTTL(dst netip.Addr, dport uint16, data []byte, ttl uint8) bool {
+	return c.sendFrom(c.localAddr, dst, dport, data, ttl)
+}
+
+func (c *Conn) sendFrom(src, dst netip.Addr, dport uint16, data []byte, ttl uint8) bool {
+	return c.sendFrom2(src, dst, dport, data, ttl, nil)
+}
+
+func (c *Conn) sendFrom2(src, dst netip.Addr, dport uint16, data []byte, ttl uint8, ipOptions []byte) bool {
+	// Resolve the source address from the route when unbound, so the UDP
+	// checksum's pseudo-header matches the IP header we will emit.
+	if !src.IsValid() {
+		r, ok := c.st.h.Lookup(dst)
+		if !ok {
+			return false
+		}
+		src = r.If.Addr
+	}
+	u := &netpkt.UDP{SrcPort: c.localPort, DstPort: dport, Payload: data}
+	ip := &netpkt.IPv4{
+		Protocol: netpkt.ProtoUDP,
+		Src:      src,
+		Dst:      dst,
+		TTL:      ttl,
+		Options:  ipOptions,
+		Payload:  u.Marshal(src, dst),
+	}
+	return c.st.h.Send(ip)
+}
+
+// Recv waits for the next datagram. ok is false on timeout or close.
+// It must be called from a simulator process.
+func (c *Conn) Recv(p *sim.Proc, timeout time.Duration) (Datagram, bool) {
+	return c.rx.Recv(p, timeout)
+}
+
+// TryRecv returns a buffered datagram without blocking.
+func (c *Conn) TryRecv() (Datagram, bool) { return c.rx.TryRecv() }
+
+// RecvICMP waits for an ICMP error concerning this socket.
+func (c *Conn) RecvICMP(p *sim.Proc, timeout time.Duration) (ICMPEvent, bool) {
+	return c.icmp.Recv(p, timeout)
+}
+
+// Drain discards buffered datagrams.
+func (c *Conn) Drain() int { return c.rx.Drain() }
+
+func (st *Stack) input(ifc *stack.NetIf, ip *netpkt.IPv4) {
+	u, err := netpkt.ParseUDP(ip.Payload, ip.Src, ip.Dst, true)
+	if err != nil {
+		return
+	}
+	// Most-specific match wins: connected > interface-bound >
+	// address-bound > wildcard.
+	var best *Conn
+	bestScore := -1
+	for _, c := range st.conns[u.DstPort] {
+		if c.localAddr.IsValid() && c.localAddr != ip.Dst {
+			continue
+		}
+		if c.iface != nil && c.iface != ifc {
+			continue
+		}
+		score := 0
+		if c.localAddr.IsValid() {
+			score += 1
+		}
+		if c.iface != nil {
+			score += 2
+		}
+		if c.remoteAddr.IsValid() {
+			if c.remoteAddr != ip.Src || c.remotePort != u.SrcPort {
+				continue
+			}
+			score += 4
+		}
+		if score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	if best != nil {
+		best.rx.Send(Datagram{From: ip.Src, FromPort: u.SrcPort, To: ip.Dst, ToPort: u.DstPort, TTL: ip.TTL, If: ifc, Data: u.Payload})
+		return
+	}
+	if st.GeneratePortUnreachable {
+		st.h.SendICMPError(ip, netpkt.ICMPDestUnreachable, netpkt.ICMPCodePortUnreachable, 0)
+	}
+}
+
+// DeliverICMP routes an ICMP error to the socket that sent the embedded
+// datagram. The stack wires this up automatically.
+func (st *Stack) deliverICMP(from netip.Addr, ic *netpkt.ICMP, inner *netpkt.IPv4) {
+	if inner == nil || inner.Protocol != netpkt.ProtoUDP {
+		return
+	}
+	sport, dport, ok := netpkt.UDPPorts(inner.Payload)
+	if !ok {
+		return
+	}
+	for _, c := range st.conns[sport] {
+		if c.remoteAddr.IsValid() && (c.remoteAddr != inner.Dst || c.remotePort != dport) {
+			continue
+		}
+		c.icmp.Send(ICMPEvent{From: from, Type: ic.Type, Code: ic.Code})
+		return
+	}
+}
+
+// EnableICMPErrors subscribes the UDP stack to host ICMP errors so that
+// sockets can observe them via RecvICMP.
+func (st *Stack) EnableICMPErrors() {
+	st.h.ListenICMP(st.deliverICMP)
+}
