@@ -1,7 +1,7 @@
 // Command hgbench regenerates every table and figure of the paper's
 // evaluation section and prints them in the paper's style, together
-// with the population statistics the prose quotes. With -markdown it
-// emits an EXPERIMENTS.md-style paper-vs-measured report.
+// with the population statistics the prose quotes. The experiment set,
+// section titles and paper references all come from hgw.Registry().
 //
 //	hgbench                       # everything, quick settings
 //	hgbench -exp udp1,tcp4        # a subset
@@ -9,255 +9,73 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"sort"
+	"os"
 	"strings"
 
 	"hgw"
-	"hgw/internal/probe"
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "comma-separated experiment ids (udp1,udp2,udp3,udp4,udp5,tcp1,tcp2,tcp4,icmp,sctp,dccp,dns,quirks) or 'all'")
+	expFlag  = flag.String("exp", "all", "comma-separated experiment ids (see hgprobe -list) or 'all'")
+	tags     = flag.String("tags", "", "comma-separated device tags (default all)")
 	iters    = flag.Int("iters", 5, "iterations per device (paper: 100)")
 	bytesF   = flag.Int("bytes", 8<<20, "TCP-2 transfer size (paper: 100 MB)")
 	seed     = flag.Int64("seed", 1, "simulation seed")
-	markdown = flag.Bool("markdown", false, "emit markdown comparison tables")
+	parallel = flag.Int("parallel", 0, "max concurrent experiments (0 = default 4; affects testbed sharing)")
+	markdown = flag.Bool("markdown", false, "also emit markdown tables for figure results")
 )
-
-func want(id string) bool {
-	if *expFlag == "all" {
-		return id != "fig2" && id != "bindrate" && id != "holepunch" && id != "keepalive" // explicit-only (udp1-3 already cover fig2)
-	}
-	for _, e := range strings.Split(*expFlag, ",") {
-		if strings.TrimSpace(e) == id {
-			return true
-		}
-	}
-	return false
-}
 
 func main() {
 	flag.Parse()
-	cfg := hgw.Config{Seed: *seed, Options: hgw.Options{Iterations: *iters, TransferBytes: *bytesF}}
 
-	section := func(title string) { fmt.Printf("\n===== %s =====\n", title) }
+	var ids []string // nil = the registry's default set
+	if *expFlag != "all" {
+		ids = strings.Split(*expFlag, ",")
+	}
+	opts := []hgw.Option{
+		hgw.WithSeed(*seed),
+		hgw.WithIterations(*iters),
+		hgw.WithTransferBytes(*bytesF),
+	}
+	if *tags != "" {
+		opts = append(opts, hgw.WithTags(strings.Split(*tags, ",")...))
+	}
+	if *parallel > 0 {
+		opts = append(opts, hgw.WithParallelism(*parallel))
+	}
 
-	if want("fig2") {
-		section("Figure 2: UDP-1/2/3 combined (ordered by UDP-1)")
-		f1 := hgw.RunUDP1(cfg)
-		f2 := hgw.RunUDP2(cfg)
-		f3 := hgw.RunUDP3(cfg)
-		series := map[string]map[string]float64{"UDP-1": {}, "UDP-2": {}, "UDP-3": {}}
-		for _, p := range f1.Points {
-			series["UDP-1"][p.Tag] = p.Median
-		}
-		for _, p := range f2.Points {
-			series["UDP-2"][p.Tag] = p.Median
-		}
-		for _, p := range f3.Points {
-			series["UDP-3"][p.Tag] = p.Median
-		}
-		fmt.Print(multiN("Figure 2", "sec", f1.Order(), series, []string{"UDP-1", "UDP-2", "UDP-3"}))
-	}
-	if want("bindrate") {
-		section("Binding-creation rate (paper §5 future work)")
-		fmt.Print(hgw.RunBindRate(cfg).Render(48, false))
-	}
-	if want("udp1") {
-		section("Figure 3 / UDP-1: single packet, outbound only")
-		f := hgw.RunUDP1(cfg)
-		fmt.Print(f.Render(48, false))
-		fmt.Println("paper: je et al. 30 s ... ls1 691 s; pop. median 90.00, mean 160.41")
-	}
-	if want("udp2") {
-		section("Figure 4 / UDP-2: single packet out, multiple in")
-		f := hgw.RunUDP2(cfg)
-		fmt.Print(f.Render(48, false))
-		fmt.Println("paper: min 54 s; pop. median 180.00, mean 174.67")
-	}
-	if want("udp3") {
-		section("Figure 5 / UDP-3: multiple packets out- and inbound")
-		f := hgw.RunUDP3(cfg)
-		fmt.Print(f.Render(48, false))
-		fmt.Println("paper: pop. median 181.00, mean 225.94")
-	}
-	if want("udp4") {
-		section("UDP-4: binding and port-pair reuse (§4.1)")
-		res := hgw.RunUDP4(cfg)
-		pr, pn, np := hgw.UDP4Counts(res)
-		for _, r := range res {
-			fmt.Printf("  %-5s %-22s observed=%v\n", r.Tag, r.Class, r.ObservedPorts)
-		}
-		fmt.Printf("counts: preserve+reuse=%d preserve+new=%d no-preservation=%d\n", pr, pn, np)
-		fmt.Println("paper: 23 preserve+reuse, 4 preserve+new, 7 no-preservation")
-	}
-	if want("udp5") {
-		section("Figure 6 / UDP-5: per-service binding timeouts")
-		figs := hgw.RunUDP5(cfg)
-		names := make([]string, 0, len(figs))
-		for n := range figs {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Print(figs[n].Render(48, false))
-		}
-		fmt.Println("paper: timeouts mostly port-independent; dl8 shortens the DNS port")
-	}
-	if want("tcp1") {
-		section("Figure 7 / TCP-1: TCP binding timeouts (log scale)")
-		f := hgw.RunTCP1(cfg)
-		fmt.Print(f.Render(48, true))
-		fmt.Println("paper: be1 239 s shortest; 7 devices > 24 h; pop. median 59.98 min, mean 386.46 min")
-	}
-	if want("tcp2") || want("tcp3") {
-		section("Figures 8 & 9 / TCP-2 throughput and TCP-3 delay")
-		res := hgw.RunThroughput(cfg)
-		fig8, fig9 := hgw.ThroughputFigures(res)
-		order := orderBy(res, func(t hgw.Throughput) float64 { return t.DownMbps })
-		fmt.Print(multi("Figure 8: TCP throughput", "Mb/s", order, fig8))
-		fmt.Println("paper: 13 devices at wire speed; dl10/ls1 worst (~6-8 Mb/s); smc asymmetric 41/27")
-		orderD := orderBy(res, func(t hgw.Throughput) float64 { return t.DelayDownMs })
-		fmt.Print(multi("Figure 9: queuing delay", "msec", orderD, fig9))
-		fmt.Println("paper: best ~2 ms; dl10 74 ms, ls1 110 ms; bidirectional load increases delays")
-	}
-	if want("tcp4") {
-		section("Figure 10 / TCP-4: max bindings to one server port (log scale)")
-		f := hgw.RunTCP4(cfg)
-		fmt.Print(f.Render(48, true))
-		fmt.Println("paper: dl9/smc 16; ng1/ap ca. 1024; pop. median 135.50, mean 259.21")
-	}
-	if want("icmp") || want("sctp") || want("dccp") || want("dns") {
-		section("Table 2: ICMP / SCTP / DCCP / DNS")
-		m := hgw.RunICMP(cfg)
-		sctp := hgw.RunSCTP(cfg)
-		dccp := hgw.RunDCCP(cfg)
-		dns := hgw.RunDNS(cfg)
-		fmt.Print(hgw.Table2(m, sctp, dccp, dns))
-		summarizeTable2(m, sctp, dccp, dns)
-	}
-	if want("keepalive") {
-		section("TCP keepalives at the RFC 1122 2 h minimum (§4.4)")
-		fail := 0
-		for _, r := range hgw.RunKeepalive(cfg) {
-			if !r.Survived {
-				fail++
-				fmt.Printf("  %-5s binding lost despite keepalives\n", r.Tag)
-			}
-		}
-		fmt.Printf("%d of 34 devices drop a kept-alive idle connection (paper: \"many\"; half time out under 1 h)\n", fail)
-	}
-	if want("holepunch") {
-		section("UDP hole punching (related work, Ford et al.)")
-		pairs := [][2]string{{"owrt", "bu1"}, {"owrt", "smc"}, {"dl2", "dl6"}, {"smc", "zy1"}}
-		for _, pr := range pairs {
-			r := hgw.RunHolePunch(pr[0], pr[1], *seed)
-			fmt.Printf("  %-5s <-> %-5s success=%v (extA=%v extB=%v)\n", r.TagA, r.TagB, r.Success, r.ExtA, r.ExtB)
-		}
-		fmt.Println("punching succeeds between port-preserving NATs and fails when either side allocates fresh ports")
-	}
-	if want("quirks") {
-		section("§4.4 quirks: TTL, Record Route, hairpinning, shared MACs")
-		for _, r := range hgw.RunQuirks(cfg) {
-			fmt.Printf("  %-5s ttl-dec=%-5v record-route=%-5v hairpin=%-5v same-mac=%v\n",
-				r.Tag, r.DecrementsTTL, r.RecordsRoute, r.Hairpins, r.SameMAC)
+	// Render whatever completed even when some experiments failed, then
+	// report the error. The Table 2 components (icmp/sctp/dccp/dns)
+	// print once, combined, like the paper.
+	results, err := hgw.Run(context.Background(), ids, opts...)
+	var standalone hgw.Results
+	for _, r := range results {
+		if !r.IsTable2Component() {
+			standalone = append(standalone, r)
 		}
 	}
+	fmt.Print(standalone.Render())
+
+	if table, ok := results.Table2(); ok {
+		fmt.Printf("\n===== Table 2: ICMP / SCTP / DCCP / DNS combined =====\n")
+		fmt.Print(table)
+	}
+
 	if *markdown {
-		fmt.Println("\n(markdown mode: see EXPERIMENTS.md in the repository for the curated comparison)")
-	}
-}
-
-func multiN(title, unit string, order []string, series map[string]map[string]float64, names []string) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s [%s]\n", title, unit)
-	fmt.Fprintf(&sb, "  %-5s", "dev")
-	for _, n := range names {
-		fmt.Fprintf(&sb, " %10s", n)
-	}
-	sb.WriteString("\n")
-	for _, tag := range order {
-		fmt.Fprintf(&sb, "  %-5s", tag)
-		for _, n := range names {
-			fmt.Fprintf(&sb, " %10.1f", series[n][tag])
-		}
-		sb.WriteString("\n")
-	}
-	return sb.String()
-}
-
-func orderBy(res []hgw.Throughput, key func(hgw.Throughput) float64) []string {
-	cp := append([]hgw.Throughput(nil), res...)
-	sort.Slice(cp, func(i, j int) bool { return key(cp[i]) < key(cp[j]) })
-	out := make([]string, len(cp))
-	for i, r := range cp {
-		out[i] = r.Tag
-	}
-	return out
-}
-
-func multi(title, unit string, order []string, series map[string]map[string]float64) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s [%s]\n", title, unit)
-	names := []string{"Upload", "Download", "Up|Down", "Down|Up"}
-	fmt.Fprintf(&sb, "  %-5s %10s %10s %10s %10s\n", "dev", names[0], names[1], names[2], names[3])
-	for _, tag := range order {
-		fmt.Fprintf(&sb, "  %-5s", tag)
-		for _, n := range names {
-			fmt.Fprintf(&sb, " %10.1f", series[n][tag])
-		}
-		sb.WriteString("\n")
-	}
-	return sb.String()
-}
-
-func summarizeTable2(m []hgw.ICMPMatrix, sctp, dccp []hgw.ConnResult, dns []hgw.DNSResult) {
-	sctpOK, dccpOK, dnsTCPAccept, dnsTCPAnswer, viaUDP := 0, 0, 0, 0, 0
-	for _, r := range sctp {
-		if r.OK {
-			sctpOK++
-		}
-	}
-	for _, r := range dccp {
-		if r.OK {
-			dccpOK++
-		}
-	}
-	for _, r := range dns {
-		if r.TCPAccepts {
-			dnsTCPAccept++
-		}
-		if r.TCPAnswers {
-			dnsTCPAnswer++
-		}
-		if r.TCPViaUDP {
-			viaUDP++
-		}
-	}
-	innerUnfixed := 0
-	badCsum := 0
-	for _, mm := range m {
-		unfixed, bad := false, false
-		for k := range mm.UDP {
-			if mm.UDP[k] == probe.VerdictInnerUnfixed || mm.TCP[k] == probe.VerdictInnerUnfixed {
-				unfixed = true
+		for _, r := range results {
+			if r.Figure == nil {
+				continue
 			}
-			if mm.UDP[k] == probe.VerdictInnerBadChecksum || mm.TCP[k] == probe.VerdictInnerBadChecksum {
-				bad = true
-			}
-		}
-		if unfixed {
-			innerUnfixed++
-		}
-		if bad {
-			badCsum++
+			fmt.Printf("\n===== %s (markdown) =====\n", r.Title)
+			fmt.Print(r.Figure.Markdown())
 		}
 	}
-	fmt.Printf("\nsummary: SCTP works through %d devices (paper: 18); DCCP through %d (paper: 0)\n", sctpOK, dccpOK)
-	fmt.Printf("         DNS/TCP: %d accept, %d answer, %d via UDP upstream (paper: 14 / 10 / ap)\n",
-		dnsTCPAccept, dnsTCPAnswer, viaUDP)
-	fmt.Printf("         %d devices leave embedded ICMP headers untranslated (paper: 16); %d corrupt embedded IP checksums (paper: 2)\n",
-		innerUnfixed, badCsum)
+
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hgbench:", err)
+		os.Exit(1)
+	}
 }

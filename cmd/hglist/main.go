@@ -1,10 +1,10 @@
 // Command hglist prints the emulated device inventory — the paper's
-// Table 1 — with the key calibrated behaviors of each profile.
+// Table 1 — with the key calibrated behaviors of each profile, followed
+// by the experiment catalog from the registry.
 package main
 
 import (
 	"fmt"
-	"time"
 
 	"hgw"
 )
@@ -26,5 +26,14 @@ func main() {
 			p.NAT.UDP.Bidir.Seconds(),
 			tcp1, p.NAT.MaxTCPBindings)
 	}
-	_ = time.Second
+
+	fmt.Printf("\nExperiments (run with hgprobe -exp <id>):\n")
+	fmt.Printf("%-10s %-10s %-12s %s\n", "id", "ref", "unit", "title")
+	for _, e := range hgw.Registry() {
+		unit := e.Unit
+		if unit == "" {
+			unit = "-"
+		}
+		fmt.Printf("%-10s %-10s %-12s %s\n", e.ID, e.Ref, unit, e.Title)
+	}
 }

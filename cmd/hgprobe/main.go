@@ -1,93 +1,83 @@
-// Command hgprobe runs one of the paper's measurements against selected
-// gateway devices.
+// Command hgprobe runs registry experiments against selected gateway
+// devices.
 //
 //	hgprobe -exp udp1 -tags je,ls1,owrt -iters 10
+//	hgprobe -exp icmp,sctp,dccp,dns          # shares one testbed
+//	hgprobe -list                            # the experiment catalog
 //
-// Experiments: udp1 udp2 udp3 udp4 udp5 tcp1 tcp2 tcp4 icmp sctp dccp
-// dns quirks.
+// Every id in hgw.Registry() works, including bindrate, keepalive and
+// holepunch; -json emits the result envelopes as JSON.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"hgw"
 )
 
 func main() {
-	exp := flag.String("exp", "udp1", "experiment id")
+	exp := flag.String("exp", "udp1", "comma-separated experiment ids (see -list)")
 	tags := flag.String("tags", "", "comma-separated device tags (default all)")
 	iters := flag.Int("iters", 3, "iterations per device")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	bytes := flag.Int("bytes", 8<<20, "transfer size for tcp2")
+	parallel := flag.Int("parallel", 0, "max concurrent experiments (0 = default 4; affects testbed sharing)")
+	jsonOut := flag.Bool("json", false, "emit result envelopes as JSON")
+	verbose := flag.Bool("v", false, "report per-experiment progress on stderr")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Parse()
 
-	cfg := hgw.Config{Seed: *seed, Options: hgw.Options{Iterations: *iters, TransferBytes: *bytes}}
-	if *tags != "" {
-		cfg.Tags = strings.Split(*tags, ",")
+	if *list {
+		fmt.Printf("%-10s %-10s %s\n", "id", "ref", "title")
+		for _, e := range hgw.Registry() {
+			fmt.Printf("%-10s %-10s %s\n", e.ID, e.Ref, e.Title)
+		}
+		return
 	}
 
-	switch *exp {
-	case "udp1":
-		fmt.Print(hgw.RunUDP1(cfg).Render(50, false))
-	case "udp2":
-		fmt.Print(hgw.RunUDP2(cfg).Render(50, false))
-	case "udp3":
-		fmt.Print(hgw.RunUDP3(cfg).Render(50, false))
-	case "udp4":
-		res := hgw.RunUDP4(cfg)
-		for _, r := range res {
-			fmt.Printf("%-5s %-22s src=%d observed=%v\n", r.Tag, r.Class, r.SourcePort, r.ObservedPorts)
+	opts := []hgw.Option{
+		hgw.WithSeed(*seed),
+		hgw.WithIterations(*iters),
+		hgw.WithTransferBytes(*bytes),
+	}
+	if *tags != "" {
+		opts = append(opts, hgw.WithTags(strings.Split(*tags, ",")...))
+	}
+	if *parallel > 0 {
+		opts = append(opts, hgw.WithParallelism(*parallel))
+	}
+	if *verbose {
+		opts = append(opts, hgw.WithProgress(func(p hgw.Progress) {
+			state := "start"
+			if p.Done {
+				state = "done"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-10s %s\n", p.Index+1, p.Total, p.ID, state)
+		}))
+	}
+
+	// Print whatever completed before reporting a failure: Run returns
+	// the finished results alongside the error.
+	results, err := hgw.Run(context.Background(), strings.Split(*exp, ","), opts...)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if encErr := enc.Encode(results); encErr != nil {
+			fmt.Fprintln(os.Stderr, "hgprobe:", encErr)
+			os.Exit(1)
 		}
-		pr, pn, np := hgw.UDP4Counts(res)
-		fmt.Printf("preserve+reuse=%d preserve+new=%d no-preservation=%d\n", pr, pn, np)
-	case "udp5":
-		figs := hgw.RunUDP5(cfg)
-		names := make([]string, 0, len(figs))
-		for n := range figs {
-			names = append(names, n)
+	} else {
+		for _, r := range results {
+			fmt.Print(r.Render())
 		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Print(figs[n].Render(50, false))
-		}
-	case "tcp1":
-		fmt.Print(hgw.RunTCP1(cfg).Render(50, true))
-	case "tcp2", "tcp3":
-		res := hgw.RunThroughput(cfg)
-		fmt.Printf("%-5s %9s %9s %9s %9s %9s %9s\n", "tag", "up", "down", "biUp", "biDown", "dlyUp", "dlyDown")
-		for _, r := range res {
-			fmt.Printf("%-5s %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f\n",
-				r.Tag, r.UpMbps, r.DownMbps, r.BiUpMbps, r.BiDownMbps, r.DelayUpMs, r.DelayDownMs)
-		}
-	case "tcp4":
-		fmt.Print(hgw.RunTCP4(cfg).Render(50, true))
-	case "icmp":
-		m := hgw.RunICMP(cfg)
-		fmt.Print(hgw.Table2(m, nil, nil, nil))
-	case "sctp":
-		for _, r := range hgw.RunSCTP(cfg) {
-			fmt.Printf("%-5s sctp=%v\n", r.Tag, r.OK)
-		}
-	case "dccp":
-		for _, r := range hgw.RunDCCP(cfg) {
-			fmt.Printf("%-5s dccp=%v\n", r.Tag, r.OK)
-		}
-	case "dns":
-		for _, r := range hgw.RunDNS(cfg) {
-			fmt.Printf("%-5s udp=%v tcp-accept=%v tcp-answer=%v via-udp=%v\n",
-				r.Tag, r.UDPAnswers, r.TCPAccepts, r.TCPAnswers, r.TCPViaUDP)
-		}
-	case "quirks":
-		for _, r := range hgw.RunQuirks(cfg) {
-			fmt.Printf("%-5s ttl-dec=%v record-route=%v hairpin=%v same-mac=%v\n",
-				r.Tag, r.DecrementsTTL, r.RecordsRoute, r.Hairpins, r.SameMAC)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hgprobe:", err)
 		os.Exit(2)
 	}
 }

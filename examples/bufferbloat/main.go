@@ -7,16 +7,27 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"hgw"
 )
 
 func main() {
-	tags := []string{"ng1", "dl10", "ls1"}
+	results, err := hgw.Run(context.Background(), []string{"tcp2"},
+		hgw.WithTags("ng1", "dl10", "ls1"),
+		hgw.WithTransferBytes(4<<20),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := results.Get("tcp2").Throughputs()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("Latency under load (TCP-3 methodology, 4 MB transfers):")
 	fmt.Printf("%-6s %10s %10s %14s %14s\n", "dev", "down Mb/s", "up Mb/s", "delay(down)ms", "delay(bidir)ms")
-	res := hgw.RunThroughput(hgw.Config{Tags: tags, Options: hgw.Options{TransferBytes: 4 << 20}})
 	for _, r := range res {
 		fmt.Printf("%-6s %10.1f %10.1f %14.1f %14.1f\n",
 			r.Tag, r.DownMbps, r.UpMbps, r.DelayDownMs, r.BiDelayDownMs)

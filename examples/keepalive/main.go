@@ -9,14 +9,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"sort"
 
 	"hgw"
 )
 
 func main() {
-	fig := hgw.RunUDP3(hgw.Config{Options: hgw.Options{Iterations: 3}})
+	results, err := hgw.Run(context.Background(), []string{"udp3"}, hgw.WithIterations(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig := results.Get("udp3").Figure
 
 	meds := make([]float64, 0, len(fig.Points))
 	for _, p := range fig.Points {

@@ -2,12 +2,15 @@
 // device, combining the port-preservation/reuse probe (UDP-4), the
 // hairpinning check, the ICMP translation quality and the
 // unknown-protocol fallback — the properties that matter for NAT
-// traversal (paper §2 and §4.4).
+// traversal (paper §2 and §4.4). All four experiments run on ONE shared
+// testbed: the runner reuses it across the whole id list.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 
 	"hgw"
 )
@@ -16,13 +19,20 @@ func main() {
 	tag := flag.String("tag", "owrt", "device tag to classify")
 	flag.Parse()
 
-	cfg := hgw.Config{Tags: []string{*tag}, Options: hgw.Options{Iterations: 1}}
-
 	fmt.Printf("Classifying %s ...\n\n", *tag)
-	reuse := hgw.RunUDP4(cfg)[0]
-	quirk := hgw.RunQuirks(cfg)[0]
-	sctp := hgw.RunSCTP(cfg)[0]
-	icmp := hgw.RunICMP(cfg)[0]
+	results, err := hgw.Run(context.Background(),
+		[]string{"udp4", "quirks", "sctp", "icmp"},
+		hgw.WithTags(*tag),
+		hgw.WithIterations(1),
+		hgw.WithParallelism(1), // one lane => one testbed for all four
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reuse := results.Get("udp4").Payload.([]hgw.PortReuseResult)[0]
+	quirk := results.Get("quirks").Payload.([]hgw.QuirkResult)[0]
+	sctp := results.Get("sctp").Payload.([]hgw.ConnResult)[0]
+	icmp := results.Get("icmp").Payload.([]hgw.ICMPMatrix)[0]
 
 	fmt.Printf("port allocation:     %v (external ports %v for source %d)\n",
 		reuse.Class, reuse.ObservedPorts, reuse.SourcePort)

@@ -1,19 +1,24 @@
-// Quickstart: build a three-device testbed and measure UDP binding
-// timeouts (the paper's UDP-1 test) with the public API.
+// Quickstart: run the paper's UDP-1 test against a three-device
+// selection with the registry API.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"hgw"
 )
 
 func main() {
-	fig := hgw.RunUDP1(hgw.Config{
-		Tags:    []string{"je", "owrt", "ls1"},
-		Options: hgw.Options{Iterations: 3},
-	})
+	results, err := hgw.Run(context.Background(), []string{"udp1"},
+		hgw.WithTags("je", "owrt", "ls1"),
+		hgw.WithIterations(3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("UDP binding timeouts after a solitary outbound packet:")
-	fmt.Print(fig.Render(40, false))
+	fmt.Print(results.Get("udp1").Figure.Render(40, false))
 	fmt.Println("\nje is the paper's shortest (30 s); ls1 its longest (691 s).")
 }

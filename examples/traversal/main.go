@@ -9,21 +9,23 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"hgw"
 )
 
 func main() {
-	pairs := [][2]string{
-		{"owrt", "bu1"}, // both preserve ports
-		{"dl2", "dl6"},  // both preserve ports
-		{"owrt", "smc"}, // smc never preserves
-		{"ls1", "zy1"},  // neither preserves
+	// The registry's holepunch experiment pairs consecutive tags; the
+	// selection mixes port-preserving and non-preserving devices.
+	results, err := hgw.Run(context.Background(), []string{"holepunch"},
+		hgw.WithTags("owrt", "bu1", "dl2", "dl6", "owrt", "smc", "ls1", "zy1"))
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Println("UDP hole punching across emulated gateway pairs:")
-	for i, p := range pairs {
-		r := hgw.RunHolePunch(p[0], p[1], int64(i))
+	for _, r := range results.Get("holepunch").Payload.([]hgw.HolePunchResult) {
 		verdict := "FAILED"
 		if r.Success {
 			verdict = "ok"

@@ -1,0 +1,3 @@
+module hgw
+
+go 1.24

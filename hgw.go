@@ -4,13 +4,30 @@
 // gateways replaced by calibrated software emulations running on a
 // deterministic network simulator.
 //
-// The package exposes one entry point per experiment in the paper's
-// evaluation (Figures 2-10 and Table 2). Each runner builds the
-// Figure 1 testbed — test server, VLAN switches, emulated gateways,
-// test client — and executes the corresponding §3.2 methodology:
+// Every experiment in the paper's evaluation (Figures 2-10, Table 2)
+// plus the extensions (bindrate, keepalive, holepunch) is an Experiment
+// registered in the package registry; Run executes any subset of them
+// and returns uniform Result envelopes:
 //
-//	f := hgw.RunUDP1(hgw.Config{})          // Figure 3
-//	fmt.Print(f.Render(50, false))
+//	results, err := hgw.Run(ctx, []string{"udp1", "tcp1"},
+//		hgw.WithTags("je", "owrt", "ls1"),
+//		hgw.WithIterations(3),
+//	)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	fmt.Print(results.Render())
+//
+// Run schedules experiments concurrently and reuses Figure 1 testbeds
+// across experiments sharing the run's (tags, seed) requirements — a
+// lane of experiments runs sequentially on one testbed — so a
+// multi-experiment run builds far fewer testbeds than it runs
+// experiments. Registry, ExperimentIDs and Lookup expose the catalog,
+// so front-ends render table-driven instead of hand-maintaining
+// experiment lists; new experiments plug in once via Register.
+//
+// The legacy per-experiment entry points (RunUDP1, RunICMP, ...) remain
+// as thin wrappers over the registry and are deprecated.
 //
 // Lower-level building blocks (the simulator, packet codecs, transport
 // stacks, the NAT engine, the device profiles and the probers) live in
@@ -18,8 +35,7 @@
 package hgw
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
 	"hgw/internal/gateway"
 	"hgw/internal/probe"
@@ -50,6 +66,12 @@ type (
 	PortReuseResult = probe.PortReuseResult
 	// QuirkResult reports the §4.4 IP-layer quirks.
 	QuirkResult = probe.QuirkResult
+	// KeepaliveResult reports whether 2-hour TCP keepalives held a
+	// binding through one device.
+	KeepaliveResult = probe.KeepaliveResult
+	// HolePunchResult reports a UDP hole-punching attempt between two
+	// NATed hosts.
+	HolePunchResult = probe.HolePunchResult
 	// Profile describes one emulated gateway model.
 	Profile = gateway.Profile
 	// Testbed is the assembled Figure 1 environment, for custom
@@ -61,7 +83,10 @@ type (
 	Sim = sim.Sim
 )
 
-// Config parameterizes an experiment run.
+// Config parameterizes a legacy RunXXX call.
+//
+// Deprecated: pass Options (WithTags, WithSeed, WithIterations, ...) to
+// Run instead.
 type Config struct {
 	// Tags selects gateways by their paper tag (default: all 34).
 	Tags []string
@@ -83,43 +108,42 @@ func NewTestbed(cfg Config) (*Testbed, *Sim) {
 	return testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
 }
 
-func run(cfg Config, f func(tb *testbed.Testbed, s *sim.Sim) []DeviceResult) []DeviceResult {
-	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
-	return f(tb, s)
+// runLegacy executes one registry experiment with a legacy Config.
+// The legacy entry points have no error path, so failures panic — the
+// pre-registry behavior of every prober.
+func runLegacy(id string, cfg Config) *Result {
+	results, err := Run(context.Background(), []string{id},
+		WithTags(cfg.Tags...), WithSeed(cfg.Seed), WithOptions(cfg.Options))
+	if err != nil {
+		panic("hgw: " + id + ": " + err.Error())
+	}
+	return results[0]
 }
 
 // RunUDP1 measures UDP binding timeouts after a solitary outbound
 // packet (Figure 3), in seconds.
-func RunUDP1(cfg Config) Figure {
-	res := run(cfg, func(tb *testbed.Testbed, s *sim.Sim) []DeviceResult {
-		return probe.UDPTimeouts(tb, s, probe.UDPSolitary, 0, cfg.Options)
-	})
-	return report.NewFigure("UDP-1: single packet, outbound only (Figure 3)", "sec", res)
-}
+//
+// Deprecated: use Run with id "udp1".
+func RunUDP1(cfg Config) Figure { return *runLegacy("udp1", cfg).Figure }
 
 // RunUDP2 measures UDP binding timeouts with inbound refresh traffic
 // (Figure 4), in seconds.
-func RunUDP2(cfg Config) Figure {
-	res := run(cfg, func(tb *testbed.Testbed, s *sim.Sim) []DeviceResult {
-		return probe.UDPTimeouts(tb, s, probe.UDPInbound, 0, cfg.Options)
-	})
-	return report.NewFigure("UDP-2: single packet out, multiple packets in (Figure 4)", "sec", res)
-}
+//
+// Deprecated: use Run with id "udp2".
+func RunUDP2(cfg Config) Figure { return *runLegacy("udp2", cfg).Figure }
 
 // RunUDP3 measures UDP binding timeouts with bidirectional traffic
 // (Figure 5), in seconds.
-func RunUDP3(cfg Config) Figure {
-	res := run(cfg, func(tb *testbed.Testbed, s *sim.Sim) []DeviceResult {
-		return probe.UDPTimeouts(tb, s, probe.UDPEcho, 0, cfg.Options)
-	})
-	return report.NewFigure("UDP-3: multiple packets out- and inbound (Figure 5)", "sec", res)
-}
+//
+// Deprecated: use Run with id "udp3".
+func RunUDP3(cfg Config) Figure { return *runLegacy("udp3", cfg).Figure }
 
 // RunUDP4 classifies port preservation and expired-binding reuse
 // (§4.1's UDP-4 counts).
+//
+// Deprecated: use Run with id "udp4".
 func RunUDP4(cfg Config) []PortReuseResult {
-	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
-	return probe.PortReuse(tb, s, cfg.Options)
+	return runLegacy("udp4", cfg).Payload.([]PortReuseResult)
 }
 
 // UDP4Counts tallies UDP-4 classes like the paper's prose (27 preserve,
@@ -141,144 +165,103 @@ func UDP4Counts(results []PortReuseResult) (preserveReuse, preserveNew, noPreser
 // RunUDP5 measures per-service binding timeouts (Figure 6): one Figure
 // per well-known port, keyed by service name (dns, http, ntp, snmp,
 // tftp).
+//
+// Deprecated: use Run with id "udp5".
 func RunUDP5(cfg Config) map[string]Figure {
-	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
-	raw := probe.UDP5(tb, s, cfg.Options)
-	out := make(map[string]Figure, len(raw))
-	for name, res := range raw {
-		out[name] = report.NewFigure("UDP-5 ("+name+")", "sec", res)
-	}
-	return out
+	return runLegacy("udp5", cfg).Payload.(map[string]Figure)
 }
 
 // RunTCP1 measures idle TCP binding timeouts (Figure 7), in minutes;
 // values at the 24-hour cut-off mean "longer than 24 h".
-func RunTCP1(cfg Config) Figure {
-	res := run(cfg, func(tb *testbed.Testbed, s *sim.Sim) []DeviceResult {
-		return probe.TCPTimeouts(tb, s, cfg.Options)
-	})
-	return report.NewFigure("TCP-1: TCP binding timeouts (Figure 7)", "min", res)
-}
+//
+// Deprecated: use Run with id "tcp1".
+func RunTCP1(cfg Config) Figure { return *runLegacy("tcp1", cfg).Figure }
 
 // RunThroughput runs the TCP-2 bulk transfers and the TCP-3 embedded-
 // timestamp delay measurement for each selected device, one at a time
 // on fresh testbeds (as the paper does), parallelized across real CPUs.
+//
+// Deprecated: use Run with id "tcp2".
 func RunThroughput(cfg Config) []Throughput {
-	tags := cfg.Tags
-	if len(tags) == 0 {
-		tags = gateway.Tags()
-	}
-	results := make([]Throughput, len(tags))
-	sem := make(chan struct{}, runtime.NumCPU())
-	var wg sync.WaitGroup
-	for i, tag := range tags {
-		i, tag := i, tag
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i] = probe.MeasureThroughput(tag, cfg.Options, cfg.Seed)
-		}()
-	}
-	wg.Wait()
-	return results
+	return runLegacy("tcp2", cfg).Payload.([]Throughput)
 }
 
 // RunTCP4 measures the maximum number of concurrent TCP bindings to a
 // single server port (Figure 10).
-func RunTCP4(cfg Config) Figure {
-	res := run(cfg, func(tb *testbed.Testbed, s *sim.Sim) []DeviceResult {
-		return probe.MaxBindings(tb, s, cfg.Options)
-	})
-	return report.NewFigure("TCP-4: max bindings to a single server port (Figure 10)", "count", res)
-}
+//
+// Deprecated: use Run with id "tcp4".
+func RunTCP4(cfg Config) Figure { return *runLegacy("tcp4", cfg).Figure }
 
 // RunICMP measures the ICMP error translation matrix (Table 2).
+//
+// Deprecated: use Run with id "icmp".
 func RunICMP(cfg Config) []ICMPMatrix {
-	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
-	return probe.ICMPMatrixProbe(tb, s, cfg.Options)
+	return runLegacy("icmp", cfg).Payload.([]ICMPMatrix)
 }
 
 // RunSCTP tests SCTP association establishment (Table 2).
+//
+// Deprecated: use Run with id "sctp".
 func RunSCTP(cfg Config) []ConnResult {
-	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
-	return probe.SCTPConnect(tb, s, cfg.Options)
+	return runLegacy("sctp", cfg).Payload.([]ConnResult)
 }
 
 // RunDCCP tests DCCP connection establishment (Table 2).
+//
+// Deprecated: use Run with id "dccp".
 func RunDCCP(cfg Config) []ConnResult {
-	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
-	return probe.DCCPConnect(tb, s, cfg.Options)
+	return runLegacy("dccp", cfg).Payload.([]ConnResult)
 }
 
 // RunDNS tests each gateway's DNS proxy over UDP and TCP (Table 2).
+//
+// Deprecated: use Run with id "dns".
 func RunDNS(cfg Config) []DNSResult {
-	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
-	return probe.DNSProxy(tb, s, cfg.Options)
+	return runLegacy("dns", cfg).Payload.([]DNSResult)
 }
 
 // RunQuirks probes the §4.4 IP-layer quirks.
+//
+// Deprecated: use Run with id "quirks".
 func RunQuirks(cfg Config) []QuirkResult {
-	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
-	return probe.IPQuirks(tb, s, cfg.Options)
+	return runLegacy("quirks", cfg).Payload.([]QuirkResult)
 }
 
 // RunBindRate measures UDP binding-creation rates (the paper's §5
 // future-work item), in bindings per second.
-func RunBindRate(cfg Config) Figure {
-	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
-	res := probe.BindRate(tb, s, 2e9, cfg.Options) // 2 s of virtual time
-	return report.NewFigure("Binding-creation rate (§5 future work)", "bindings/sec", res)
-}
-
-// KeepaliveResult and HolePunchResult re-exports.
-type (
-	// KeepaliveResult reports whether 2-hour TCP keepalives held a
-	// binding through one device.
-	KeepaliveResult = probe.KeepaliveResult
-	// HolePunchResult reports a UDP hole-punching attempt between two
-	// NATed hosts.
-	HolePunchResult = probe.HolePunchResult
-)
+//
+// Deprecated: use Run with id "bindrate".
+func RunBindRate(cfg Config) Figure { return *runLegacy("bindrate", cfg).Figure }
 
 // RunKeepalive tests §4.4's observation that RFC 1122's 2-hour minimum
 // TCP keepalive interval cannot reliably hold NAT bindings: each
 // device's connection idles for 6 hours with 2-hour keepalives.
+//
+// Deprecated: use Run with id "keepalive".
 func RunKeepalive(cfg Config) []KeepaliveResult {
-	tb, s := testbed.Run(testbed.Config{Tags: cfg.Tags, Seed: cfg.Seed})
-	return probe.KeepaliveSurvival(tb, s, 0, 0, cfg.Options)
+	return runLegacy("keepalive", cfg).Payload.([]KeepaliveResult)
 }
 
 // RunHolePunch attempts UDP hole punching between one host behind
 // gateway tagA and one behind tagB (related work §2, Ford et al.).
+//
+// Deprecated: use Run with id "holepunch" and WithTags(tagA, tagB).
 func RunHolePunch(tagA, tagB string, seed int64) HolePunchResult {
 	return probe.HolePunch(tagA, tagB, seed)
 }
 
 // Table2 renders the Table 2 dot matrix from its component results.
+//
+// Deprecated: use Results.Table2, which assembles the table from a
+// run's result envelopes.
 func Table2(matrices []ICMPMatrix, sctp, dccp []ConnResult, dns []DNSResult) string {
 	return report.Table2(matrices, sctp, dccp, dns)
 }
 
 // ThroughputFigures splits throughput results into the four series of
 // Figure 8 (and the delay results into Figure 9's series).
+//
+// Deprecated: use Result.ThroughputFigures on a tcp2 result.
 func ThroughputFigures(results []Throughput) (fig8, fig9 map[string]map[string]float64) {
-	fig8 = map[string]map[string]float64{
-		"Upload": {}, "Download": {}, "Up|Down": {}, "Down|Up": {},
-	}
-	fig9 = map[string]map[string]float64{
-		"Upload": {}, "Download": {}, "Up|Down": {}, "Down|Up": {},
-	}
-	for _, r := range results {
-		fig8["Upload"][r.Tag] = r.UpMbps
-		fig8["Download"][r.Tag] = r.DownMbps
-		fig8["Up|Down"][r.Tag] = r.BiUpMbps
-		fig8["Down|Up"][r.Tag] = r.BiDownMbps
-		fig9["Upload"][r.Tag] = r.DelayUpMs
-		fig9["Download"][r.Tag] = r.DelayDownMs
-		fig9["Up|Down"][r.Tag] = r.BiDelayUpMs
-		fig9["Down|Up"][r.Tag] = r.BiDelayDownMs
-	}
-	return fig8, fig9
+	return throughputSeries(results)
 }

@@ -1,0 +1,83 @@
+package hgw
+
+// Option configures a Runner (and thus a Run call).
+type Option func(*settings)
+
+// defaultParallelism is a fixed constant, not GOMAXPROCS: lane
+// assignment (and therefore which testbed an experiment observes)
+// follows parallelism, so a hardware-dependent default would make
+// equal-seed runs render differently across machines.
+const defaultParallelism = 4
+
+// settings is the resolved option set shared by every experiment in a
+// run. Experiments with identical settings can share a testbed.
+type settings struct {
+	tags        []string
+	seed        int64
+	probeOpts   Options
+	parallelism int
+	progress    func(Progress)
+}
+
+func newSettings(opts []Option) settings {
+	s := settings{parallelism: defaultParallelism}
+	for _, o := range opts {
+		o(&s)
+	}
+	if s.parallelism < 1 {
+		s.parallelism = 1
+	}
+	return s
+}
+
+// WithTags selects the gateways under test by their paper tag
+// (default: all 34).
+func WithTags(tags ...string) Option {
+	return func(s *settings) { s.tags = append([]string(nil), tags...) }
+}
+
+// WithSeed seeds the simulations. Output is a pure function of (ids,
+// tags, seed, options, parallelism): runs agreeing on all of them
+// render byte-identically, on any machine. Experiments sharing a lane
+// run on a testbed with history, so their values can differ slightly
+// from a single-experiment run of the same seed.
+func WithSeed(seed int64) Option {
+	return func(s *settings) { s.seed = seed }
+}
+
+// WithIterations sets the number of repeated measurements per device
+// (the paper uses 100; the default is 5).
+func WithIterations(n int) Option {
+	return func(s *settings) { s.probeOpts.Iterations = n }
+}
+
+// WithTransferBytes sizes the TCP-2 bulk transfers (paper: 100 MB;
+// default 8 MB).
+func WithTransferBytes(n int) Option {
+	return func(s *settings) { s.probeOpts.TransferBytes = n }
+}
+
+// WithOptions replaces the probe options wholesale, for tuning knobs
+// without a dedicated Option (search resolution, timeout caps, verdict
+// grace period).
+func WithOptions(o Options) Option {
+	return func(s *settings) { s.probeOpts = o }
+}
+
+// WithParallelism bounds how many experiments execute concurrently and
+// therefore how many testbeds a run builds: shared-testbed experiments
+// are split deterministically across at most n lanes, each lane reusing
+// a single testbed. Parallelism is part of the reproducibility
+// contract — it decides lane assignment, and a lane's later experiments
+// observe its earlier experiments' testbed history — so it defaults to
+// a fixed 4 rather than the machine's core count.
+func WithParallelism(n int) Option {
+	return func(s *settings) { s.parallelism = n }
+}
+
+// WithProgress installs a callback invoked when each experiment starts
+// and finishes. It may be called concurrently from scheduler goroutines,
+// but calls are serialized.
+func WithProgress(fn func(Progress)) Option {
+	return func(s *settings) { s.progress = fn }
+}

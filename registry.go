@@ -1,0 +1,101 @@
+package hgw
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// ErrUnknownExperiment is the sentinel wrapped by every unknown-id
+// error; test with errors.Is.
+var ErrUnknownExperiment = errors.New("unknown experiment")
+
+// UnknownExperimentError reports a lookup of an id that is not in the
+// registry. It unwraps to ErrUnknownExperiment.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return fmt.Sprintf("unknown experiment %q (known: %s)", e.ID, strings.Join(ExperimentIDs(), " "))
+}
+
+// Unwrap makes errors.Is(err, ErrUnknownExperiment) hold.
+func (e *UnknownExperimentError) Unwrap() error { return ErrUnknownExperiment }
+
+var (
+	regMu    sync.RWMutex
+	regOrder []string
+	regByID  = map[string]*Experiment{}
+	// regAliases maps alternate ids from the paper's prose onto their
+	// canonical experiment.
+	regAliases = map[string]string{
+		"tcp3":       "tcp2", // Figure 9 data comes from the tcp2 transfers
+		"throughput": "tcp2",
+	}
+)
+
+// Register adds an experiment to the package registry. Registering a
+// nil experiment, an empty or duplicate id, or a nil run function
+// panics: registration happens at init time and a broken descriptor is
+// a programming error.
+func Register(e *Experiment) {
+	if e == nil || e.ID == "" || e.Run == nil {
+		panic("hgw: Register: experiment needs an ID and a Run function")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regByID[e.ID]; dup {
+		panic("hgw: Register: duplicate experiment id " + e.ID)
+	}
+	if _, alias := regAliases[e.ID]; alias {
+		panic("hgw: Register: id " + e.ID + " collides with an alias")
+	}
+	regByID[e.ID] = e
+	regOrder = append(regOrder, e.ID)
+}
+
+// Registry returns every registered experiment in registration order
+// (the paper's presentation order for the built-ins).
+func Registry() []*Experiment {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]*Experiment, len(regOrder))
+	for i, id := range regOrder {
+		out[i] = regByID[id]
+	}
+	return out
+}
+
+// ExperimentIDs returns the registered ids in registration order.
+func ExperimentIDs() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), regOrder...)
+}
+
+// DefaultIDs returns the ids a Run with no explicit list executes:
+// every registered experiment not marked ExplicitOnly.
+func DefaultIDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		if !e.ExplicitOnly {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// Lookup resolves an id (or alias) to its experiment. Unknown ids
+// return an *UnknownExperimentError wrapping ErrUnknownExperiment.
+func Lookup(id string) (*Experiment, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if canonical, ok := regAliases[id]; ok {
+		id = canonical
+	}
+	e, ok := regByID[id]
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	return e, nil
+}

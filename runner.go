@@ -1,0 +1,214 @@
+package hgw
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"hgw/internal/testbed"
+)
+
+// Progress is the event delivered to a WithProgress callback when an
+// experiment starts (Done false) and finishes (Done true). Every
+// experiment in a run emits exactly one Done event; the preceding
+// start event is omitted for experiments that never began executing
+// (context cancelled, or their lane's testbed failed to build).
+type Progress struct {
+	// ID is the experiment's registry id.
+	ID string
+	// Index is the experiment's position in the deduplicated id list.
+	Index int
+	// Total is the number of experiments in the run.
+	Total int
+	// Done marks completion; Err carries the failure, if any.
+	Done bool
+	Err  error
+}
+
+// Runner schedules registry experiments over shared testbeds.
+//
+// Experiments that run on a shared testbed (all but the Standalone
+// ones) are split deterministically across at most WithParallelism
+// lanes; each lane builds one Figure 1 testbed and runs its experiments
+// on it sequentially, so a multi-experiment run builds min(parallelism,
+// experiments) testbeds instead of one per experiment. Lanes — and
+// Standalone experiments — execute concurrently, bounded by the same
+// parallelism. The lane assignment depends only on the id list and the
+// parallelism, so runs with equal seeds render byte-identically.
+type Runner struct {
+	set settings
+
+	mu            sync.Mutex
+	testbedsBuilt int
+}
+
+// NewRunner builds a Runner from options. A Runner is safe for
+// sequential reuse; TestbedsBuilt accumulates across its runs.
+func NewRunner(opts ...Option) *Runner {
+	return &Runner{set: newSettings(opts)}
+}
+
+// TestbedsBuilt reports how many Figure 1 testbeds this Runner has
+// constructed so far.
+func (r *Runner) TestbedsBuilt() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.testbedsBuilt
+}
+
+// Run executes the experiments registered under ids (nil or empty runs
+// DefaultIDs) and returns their results in id order. Unknown ids fail
+// up front with an *UnknownExperimentError; duplicate and alias ids are
+// deduplicated. Run honors ctx between experiments: on cancellation the
+// remaining experiments are skipped and the context error is returned
+// alongside the results that did complete.
+func Run(ctx context.Context, ids []string, opts ...Option) (Results, error) {
+	return NewRunner(opts...).Run(ctx, ids)
+}
+
+// Run implements the package-level Run on this Runner's settings.
+func (r *Runner) Run(ctx context.Context, ids []string) (Results, error) {
+	if len(ids) == 0 {
+		ids = DefaultIDs()
+	}
+	var exps []*Experiment
+	seen := map[string]bool{}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			// Tolerate stray commas in CLI-assembled lists.
+			continue
+		}
+		e, err := Lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		if seen[e.ID] {
+			continue
+		}
+		seen[e.ID] = true
+		exps = append(exps, e)
+	}
+
+	total := len(exps)
+	slots := make([]*Result, total)
+	errs := make([]error, total)
+
+	var sharedIdx, soloIdx []int
+	for i, e := range exps {
+		if e.Standalone {
+			soloIdx = append(soloIdx, i)
+		} else {
+			sharedIdx = append(sharedIdx, i)
+		}
+	}
+
+	// sem bounds concurrently executing experiments across lanes and
+	// standalone runs.
+	sem := make(chan struct{}, r.set.parallelism)
+	var wg sync.WaitGroup
+
+	runOne := func(i int, env *Env) {
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		defer func() {
+			if p := recover(); p != nil {
+				errs[i] = fmt.Errorf("experiment %s: panic: %v", exps[i].ID, p)
+				r.emit(Progress{ID: exps[i].ID, Index: i, Total: total, Done: true, Err: errs[i]})
+			}
+		}()
+		r.emit(Progress{ID: exps[i].ID, Index: i, Total: total})
+		res, err := exps[i].Run(ctx, env)
+		slots[i], errs[i] = res, err
+		r.emit(Progress{ID: exps[i].ID, Index: i, Total: total, Done: true, Err: err})
+	}
+
+	// Shared-testbed lanes: lane l runs sharedIdx[l], sharedIdx[l+L], ...
+	lanes := r.set.parallelism
+	if lanes > len(sharedIdx) {
+		lanes = len(sharedIdx)
+	}
+	for l := 0; l < lanes; l++ {
+		var mine []int
+		for j := l; j < len(sharedIdx); j += lanes {
+			mine = append(mine, sharedIdx[j])
+		}
+		wg.Add(1)
+		go func(mine []int) {
+			defer wg.Done()
+			var tb *Testbed
+			var s *Sim
+			var buildErr error
+			for _, i := range mine {
+				err := ctx.Err()
+				if err == nil {
+					// A failed build poisons the whole lane: the same
+					// (tags, seed) would fail identically, so don't
+					// rebuild per experiment.
+					err = buildErr
+				}
+				if err == nil && tb == nil {
+					if tb, s, buildErr = r.newTestbed(); buildErr != nil {
+						err = buildErr
+					}
+				}
+				if err != nil {
+					errs[i] = err
+					r.emit(Progress{ID: exps[i].ID, Index: i, Total: total, Done: true, Err: err})
+					continue
+				}
+				runOne(i, &Env{Tags: r.set.tags, Seed: r.set.seed, Options: r.set.probeOpts, Testbed: tb, Sim: s})
+			}
+		}(mine)
+	}
+
+	// Standalone experiments build their own testbeds.
+	for _, i := range soloIdx {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				r.emit(Progress{ID: exps[i].ID, Index: i, Total: total, Done: true, Err: err})
+				return
+			}
+			runOne(i, &Env{Tags: r.set.tags, Seed: r.set.seed, Options: r.set.probeOpts})
+		}(i)
+	}
+	wg.Wait()
+
+	out := make(Results, 0, total)
+	for _, res := range slots {
+		if res != nil {
+			out = append(out, res)
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// newTestbed builds and boots one Figure 1 testbed for a lane,
+// translating the testbed package's setup panics into errors.
+func (r *Runner) newTestbed() (tb *Testbed, s *Sim, err error) {
+	r.mu.Lock()
+	r.testbedsBuilt++
+	r.mu.Unlock()
+	defer func() {
+		if p := recover(); p != nil {
+			tb, s, err = nil, nil, fmt.Errorf("testbed setup: %v", p)
+		}
+	}()
+	tb, s = testbed.Run(testbed.Config{Tags: r.set.tags, Seed: r.set.seed})
+	return tb, s, nil
+}
+
+// emit serializes progress callbacks.
+func (r *Runner) emit(p Progress) {
+	if r.set.progress == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.set.progress(p)
+}
