@@ -11,9 +11,12 @@ package hgw_test
 //
 // Benchmarks use reduced iteration counts / transfer sizes so a full
 // sweep stays fast; cmd/hgbench -iters 100 -bytes 100000000 runs at
-// paper strength.
+// paper strength. Everything runs through hgw.Run registry ids — the
+// deprecated RunXXX wrappers are not exercised here.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"hgw"
@@ -21,6 +24,18 @@ import (
 )
 
 var quickOpts = hgw.Options{Iterations: 1, TransferBytes: 2 << 20}
+
+// benchRun executes one registry experiment with the quick settings
+// and returns its result envelope.
+func benchRun(b *testing.B, id string, seed int64, opts ...hgw.Option) *hgw.Result {
+	b.Helper()
+	base := []hgw.Option{hgw.WithSeed(seed), hgw.WithOptions(quickOpts)}
+	results, err := hgw.Run(context.Background(), []string{id}, append(base, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return results[0]
+}
 
 func BenchmarkTable1_DeviceInventory(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -31,15 +46,10 @@ func BenchmarkTable1_DeviceInventory(b *testing.B) {
 	}
 }
 
-func benchCfg(seed int64) hgw.Config {
-	return hgw.Config{Seed: seed, Options: quickOpts}
-}
-
 func BenchmarkFigure3_UDP1(b *testing.B) {
 	var median float64
 	for i := 0; i < b.N; i++ {
-		f := hgw.RunUDP1(benchCfg(int64(i)))
-		median = f.Median
+		median = benchRun(b, "udp1", int64(i)).Figure.Median
 	}
 	b.ReportMetric(median, "pop-median-sec")
 }
@@ -47,8 +57,7 @@ func BenchmarkFigure3_UDP1(b *testing.B) {
 func BenchmarkFigure4_UDP2(b *testing.B) {
 	var median float64
 	for i := 0; i < b.N; i++ {
-		f := hgw.RunUDP2(benchCfg(int64(i)))
-		median = f.Median
+		median = benchRun(b, "udp2", int64(i)).Figure.Median
 	}
 	b.ReportMetric(median, "pop-median-sec")
 }
@@ -56,25 +65,26 @@ func BenchmarkFigure4_UDP2(b *testing.B) {
 func BenchmarkFigure5_UDP3(b *testing.B) {
 	var median float64
 	for i := 0; i < b.N; i++ {
-		f := hgw.RunUDP3(benchCfg(int64(i)))
-		median = f.Median
+		median = benchRun(b, "udp3", int64(i)).Figure.Median
 	}
 	b.ReportMetric(median, "pop-median-sec")
 }
 
 func BenchmarkFigure2_UDP123Combined(b *testing.B) {
-	// Figure 2 overlays UDP-1/2/3; regenerate all three series.
+	// Figure 2 overlays UDP-1/2/3; one registry run regenerates all
+	// three series, sharing lane testbeds where settings allow.
 	for i := 0; i < b.N; i++ {
-		hgw.RunUDP1(benchCfg(int64(i)))
-		hgw.RunUDP2(benchCfg(int64(i)))
-		hgw.RunUDP3(benchCfg(int64(i)))
+		if _, err := hgw.Run(context.Background(), []string{"udp1", "udp2", "udp3"},
+			hgw.WithSeed(int64(i)), hgw.WithOptions(quickOpts)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 func BenchmarkUDP4_PortReuse(b *testing.B) {
 	var pr, pn, np int
 	for i := 0; i < b.N; i++ {
-		res := hgw.RunUDP4(benchCfg(int64(i)))
+		res := benchRun(b, "udp4", int64(i)).Payload.([]hgw.PortReuseResult)
 		pr, pn, np = hgw.UDP4Counts(res)
 	}
 	b.ReportMetric(float64(pr), "preserve+reuse")
@@ -83,13 +93,10 @@ func BenchmarkUDP4_PortReuse(b *testing.B) {
 }
 
 func BenchmarkFigure6_UDP5(b *testing.B) {
-	// Per-service timeouts; to keep the sweep fast, benchmark the two
-	// most interesting services (dns incl. dl8's override, plus ntp).
 	var dnsMedian float64
 	for i := 0; i < b.N; i++ {
-		cfg := benchCfg(int64(i))
-		tbFigs := hgw.RunUDP5(cfg)
-		dnsMedian = tbFigs["dns"].Median
+		figs := benchRun(b, "udp5", int64(i)).Payload.(map[string]hgw.Figure)
+		dnsMedian = figs["dns"].Median
 	}
 	b.ReportMetric(dnsMedian, "dns-pop-median-sec")
 }
@@ -97,8 +104,7 @@ func BenchmarkFigure6_UDP5(b *testing.B) {
 func BenchmarkFigure7_TCP1(b *testing.B) {
 	var median float64
 	for i := 0; i < b.N; i++ {
-		f := hgw.RunTCP1(benchCfg(int64(i)))
-		median = f.Median
+		median = benchRun(b, "tcp1", int64(i)).Figure.Median
 	}
 	b.ReportMetric(median, "pop-median-min")
 }
@@ -109,7 +115,10 @@ func BenchmarkFigure8_TCP2_Throughput(b *testing.B) {
 	tags := []string{"dl10", "smc", "ls2", "bu1"}
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		res := hgw.RunThroughput(hgw.Config{Tags: tags, Seed: int64(i), Options: quickOpts})
+		res, err := benchRun(b, "tcp2", int64(i), hgw.WithTags(tags...)).Throughputs()
+		if err != nil {
+			b.Fatal(err)
+		}
 		worst = res[0].DownMbps
 	}
 	b.ReportMetric(worst, "dl10-down-mbps")
@@ -119,7 +128,10 @@ func BenchmarkFigure9_TCP3_Delay(b *testing.B) {
 	tags := []string{"ng1", "dl10", "ls1"}
 	var bloat float64
 	for i := 0; i < b.N; i++ {
-		res := hgw.RunThroughput(hgw.Config{Tags: tags, Seed: int64(i), Options: quickOpts})
+		res, err := benchRun(b, "tcp2", int64(i), hgw.WithTags(tags...)).Throughputs()
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, r := range res {
 			if r.Tag == "ls1" {
 				bloat = r.DelayDownMs
@@ -132,8 +144,7 @@ func BenchmarkFigure9_TCP3_Delay(b *testing.B) {
 func BenchmarkFigure10_TCP4_MaxBindings(b *testing.B) {
 	var median float64
 	for i := 0; i < b.N; i++ {
-		f := hgw.RunTCP4(benchCfg(int64(i)))
-		median = f.Median
+		median = benchRun(b, "tcp4", int64(i)).Figure.Median
 	}
 	b.ReportMetric(median, "pop-median-bindings")
 }
@@ -141,7 +152,7 @@ func BenchmarkFigure10_TCP4_MaxBindings(b *testing.B) {
 func BenchmarkTable2_ICMPMatrix(b *testing.B) {
 	var unfixed int
 	for i := 0; i < b.N; i++ {
-		res := hgw.RunICMP(benchCfg(int64(i)))
+		res := benchRun(b, "icmp", int64(i)).Payload.([]hgw.ICMPMatrix)
 		unfixed = 0
 		for _, m := range res {
 			for k := range m.UDP {
@@ -159,7 +170,7 @@ func BenchmarkTable2_SCTP(b *testing.B) {
 	var ok int
 	for i := 0; i < b.N; i++ {
 		ok = 0
-		for _, r := range hgw.RunSCTP(benchCfg(int64(i))) {
+		for _, r := range benchRun(b, "sctp", int64(i)).Payload.([]hgw.ConnResult) {
 			if r.OK {
 				ok++
 			}
@@ -172,7 +183,7 @@ func BenchmarkTable2_DCCP(b *testing.B) {
 	var ok int
 	for i := 0; i < b.N; i++ {
 		ok = 0
-		for _, r := range hgw.RunDCCP(benchCfg(int64(i))) {
+		for _, r := range benchRun(b, "dccp", int64(i)).Payload.([]hgw.ConnResult) {
 			if r.OK {
 				ok++
 			}
@@ -185,7 +196,7 @@ func BenchmarkTable2_DNS(b *testing.B) {
 	var accept, answer int
 	for i := 0; i < b.N; i++ {
 		accept, answer = 0, 0
-		for _, r := range hgw.RunDNS(benchCfg(int64(i))) {
+		for _, r := range benchRun(b, "dns", int64(i)).Payload.([]hgw.DNSResult) {
 			if r.TCPAccepts {
 				accept++
 			}
@@ -203,7 +214,7 @@ func BenchmarkAblation_QuirkProbes(b *testing.B) {
 	var hairpins int
 	for i := 0; i < b.N; i++ {
 		hairpins = 0
-		for _, r := range hgw.RunQuirks(benchCfg(int64(i))) {
+		for _, r := range benchRun(b, "quirks", int64(i)).Payload.([]hgw.QuirkResult) {
 			if r.Hairpins {
 				hairpins++
 			}
@@ -232,8 +243,12 @@ func BenchmarkAblation_SearchResolution(b *testing.B) {
 	opts.Resolution = 5e9 // 5 s
 	var median float64
 	for i := 0; i < b.N; i++ {
-		f := hgw.RunUDP1(hgw.Config{Seed: int64(i), Options: opts})
-		median = f.Median
+		results, err := hgw.Run(context.Background(), []string{"udp1"},
+			hgw.WithSeed(int64(i)), hgw.WithOptions(opts))
+		if err != nil {
+			b.Fatal(err)
+		}
+		median = results[0].Figure.Median
 	}
 	b.ReportMetric(median, "pop-median-sec")
 }
@@ -244,9 +259,9 @@ func BenchmarkAblation_CoarseTimers(b *testing.B) {
 	// reported metric is the widest inter-quartile range observed.
 	var widest float64
 	for i := 0; i < b.N; i++ {
-		cfg := hgw.Config{Tags: []string{"we", "al", "je", "ng5"}, Seed: int64(i),
-			Options: hgw.Options{Iterations: 6}}
-		f := hgw.RunUDP2(cfg)
+		f := benchRun(b, "udp2", int64(i),
+			hgw.WithTags("we", "al", "je", "ng5"),
+			hgw.WithOptions(hgw.Options{Iterations: 6})).Figure
 		widest = 0
 		for _, p := range f.Points {
 			if iqr := p.IQR(); iqr > widest {
@@ -255,4 +270,29 @@ func BenchmarkAblation_CoarseTimers(b *testing.B) {
 		}
 	}
 	b.ReportMetric(widest, "max-iqr-sec")
+}
+
+// BenchmarkFleet regenerates a synthetic-fleet UDP-1 population figure
+// end to end — profile sampling, sharded bring-up, the parallel sweep
+// and the cross-shard merge — at several shard counts. More shards cut
+// both wall-clock (shards probe concurrently) and total event cost
+// (per-shard broadcast domains and event queues stay small), so the
+// sharded rows should beat shards=1 even on one core.
+func BenchmarkFleet(b *testing.B) {
+	const fleet = 256
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("devices=%d/shards=%d", fleet, shards), func(b *testing.B) {
+			var median float64
+			for i := 0; i < b.N; i++ {
+				results, err := hgw.Run(context.Background(), []string{"udp1"},
+					hgw.WithSeed(int64(i)), hgw.WithFleet(fleet), hgw.WithShards(shards),
+					hgw.WithOptions(hgw.Options{Iterations: 1}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				median = results[0].Figure.Median
+			}
+			b.ReportMetric(median, "pop-median-sec")
+		})
+	}
 }

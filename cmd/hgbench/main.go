@@ -6,6 +6,7 @@
 //	hgbench                       # everything, quick settings
 //	hgbench -exp udp1,tcp4        # a subset
 //	hgbench -iters 100 -bytes 100000000   # paper-strength settings
+//	hgbench -fleet 1000 -shards 8         # 1000 synthetic devices, 8 sub-testbeds
 package main
 
 import (
@@ -26,6 +27,8 @@ var (
 	seed     = flag.Int64("seed", 1, "simulation seed")
 	parallel = flag.Int("parallel", 0, "max concurrent experiments (0 = default 4; affects testbed sharing)")
 	markdown = flag.Bool("markdown", false, "also emit markdown tables for figure results")
+	fleet    = flag.Int("fleet", 0, "fleet mode: measure N synthetic devices instead of the 34-device inventory")
+	shards   = flag.Int("shards", 1, "partition the fleet across K concurrent sub-testbeds")
 )
 
 func main() {
@@ -45,6 +48,11 @@ func main() {
 	}
 	if *parallel > 0 {
 		opts = append(opts, hgw.WithParallelism(*parallel))
+	}
+	if *fleet > 0 {
+		// Fleet mode: synthetic population, sharded testbeds. With -exp
+		// unset the run covers hgw.FleetIDs (the UDP-1/2/3 sweeps).
+		opts = append(opts, hgw.WithFleet(*fleet), hgw.WithShards(*shards))
 	}
 
 	// Render whatever completed even when some experiments failed, then

@@ -3,6 +3,7 @@
 //
 //	hgprobe -exp udp1 -tags je,ls1,owrt -iters 10
 //	hgprobe -exp icmp,sctp,dccp,dns          # shares one testbed
+//	hgprobe -exp udp1 -fleet 200 -shards 4   # synthetic fleet sweep
 //	hgprobe -list                            # the experiment catalog
 //
 // Every id in hgw.Registry() works, including bindrate, keepalive and
@@ -27,6 +28,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	bytes := flag.Int("bytes", 8<<20, "transfer size for tcp2")
 	parallel := flag.Int("parallel", 0, "max concurrent experiments (0 = default 4; affects testbed sharing)")
+	fleet := flag.Int("fleet", 0, "fleet mode: measure N synthetic devices instead of the 34-device inventory")
+	shards := flag.Int("shards", 1, "partition the fleet across K concurrent sub-testbeds")
 	jsonOut := flag.Bool("json", false, "emit result envelopes as JSON")
 	verbose := flag.Bool("v", false, "report per-experiment progress on stderr")
 	list := flag.Bool("list", false, "list registered experiments and exit")
@@ -50,6 +53,14 @@ func main() {
 	}
 	if *parallel > 0 {
 		opts = append(opts, hgw.WithParallelism(*parallel))
+	}
+	if *fleet > 0 {
+		opts = append(opts, hgw.WithFleet(*fleet), hgw.WithShards(*shards))
+		if *verbose {
+			opts = append(opts, hgw.WithDeviceResults(func(ev hgw.DeviceEvent) {
+				fmt.Fprintf(os.Stderr, "  %-10s shard %d %s done\n", ev.ExperimentID, ev.Shard, ev.Result.Tag)
+			}))
+		}
 	}
 	if *verbose {
 		opts = append(opts, hgw.WithProgress(func(p hgw.Progress) {

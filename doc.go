@@ -1,0 +1,69 @@
+// Package hgw is a faithful reimplementation of the measurement system
+// from Hätönen et al., "An Experimental Study of Home Gateway
+// Characteristics" (ACM IMC 2010), with the paper's 34 hardware
+// gateways replaced by calibrated software emulations running on a
+// deterministic network simulator.
+//
+// # Experiments
+//
+// Every experiment in the paper's evaluation (Figures 2-10, Table 2)
+// plus the extensions (bindrate, keepalive, holepunch) is an Experiment
+// registered in the package registry; Run executes any subset of them
+// and returns uniform Result envelopes:
+//
+//	results, err := hgw.Run(ctx, []string{"udp1", "tcp1"},
+//		hgw.WithTags("je", "owrt", "ls1"),
+//		hgw.WithIterations(3),
+//	)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	fmt.Print(results.Render())
+//
+// Run schedules experiments concurrently and reuses Figure 1 testbeds
+// across experiments sharing the run's (tags, seed) requirements — a
+// lane of experiments runs sequentially on one testbed — so a
+// multi-experiment run builds far fewer testbeds than it runs
+// experiments. Registry, ExperimentIDs and Lookup expose the catalog,
+// so front-ends render table-driven instead of hand-maintaining
+// experiment lists; new experiments plug in once via Register.
+//
+// # Synthetic fleets
+//
+// The Table 1 inventory caps a run at the paper's 34 physical devices;
+// fleet mode scales past it. WithFleet(n) replaces the inventory with
+// n synthetic profiles sampled from the paper's published population
+// distributions (see SyntheticDevices and DESIGN.md §7), and
+// WithShards(k) partitions them across k independent sub-testbeds that
+// build and probe concurrently:
+//
+//	results, err := hgw.Run(ctx, nil, // nil = hgw.FleetIDs()
+//		hgw.WithFleet(1000),
+//		hgw.WithShards(8),
+//		hgw.WithSeed(1),
+//	)
+//
+// Fleet experiments are the registry entries with a population Sweep
+// (udp1, udp2, udp3, tcp1, tcp4, bindrate); their shard results merge
+// into one population Figure per experiment, and WithDeviceResults
+// streams per-device completions while shards run. Fleet output is a
+// pure function of (ids, fleet, shards, seed, options): equal settings
+// render byte-identically on any machine.
+//
+// # Reproducibility
+//
+// All scheduling knobs that influence what an experiment observes —
+// WithParallelism lane assignment, the fleet shard count, every seed —
+// are explicit parts of the contract rather than machine-dependent
+// defaults, which is why equal-seed runs are comparable across CI and
+// laptops alike.
+//
+// The legacy per-experiment entry points (RunUDP1, RunICMP, ...) remain
+// as thin wrappers over the registry and are deprecated.
+//
+// Lower-level building blocks (the simulator, packet codecs, transport
+// stacks, the NAT engine, the device profiles and the probers) live in
+// the internal packages; this facade is the supported API surface.
+// DESIGN.md documents the simulator model, the testbed topology and the
+// profile-calibration methodology; README.md has the quickstart.
+package hgw

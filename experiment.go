@@ -43,6 +43,13 @@ type Experiment struct {
 	// Env and may be called concurrently with other experiments (never
 	// concurrently on the same Testbed).
 	Run func(ctx context.Context, env *Env) (*Result, error)
+	// Sweep, when non-nil, runs the experiment's per-device measurement
+	// over every node of env.Testbed and returns the raw samples. It is
+	// what fleet mode executes per shard: the Runner merges the shards'
+	// device results into one population Figure instead of calling Run.
+	// Experiments without a population sweep (Table 2 matrices,
+	// standalone throughput runs) cannot run in fleet mode.
+	Sweep func(env *Env) []DeviceResult
 }
 
 // Env is the execution environment the Runner hands to an experiment:
@@ -69,7 +76,7 @@ func figureExp(id, title, unit, ref, note string, logScale, explicitOnly bool,
 	fn func(env *Env) []probe.DeviceResult) *Experiment {
 
 	e := &Experiment{ID: id, Title: title, Unit: unit, Ref: ref, Note: note,
-		LogScale: logScale, ExplicitOnly: explicitOnly}
+		LogScale: logScale, ExplicitOnly: explicitOnly, Sweep: fn}
 	e.Run = func(ctx context.Context, env *Env) (*Result, error) {
 		fig := report.NewFigure(title, unit, fn(env))
 		return e.result(&fig, nil, fig.Render(50, logScale)), nil

@@ -1,37 +1,3 @@
-// Package hgw is a faithful reimplementation of the measurement system
-// from Hätönen et al., "An Experimental Study of Home Gateway
-// Characteristics" (ACM IMC 2010), with the paper's 34 hardware
-// gateways replaced by calibrated software emulations running on a
-// deterministic network simulator.
-//
-// Every experiment in the paper's evaluation (Figures 2-10, Table 2)
-// plus the extensions (bindrate, keepalive, holepunch) is an Experiment
-// registered in the package registry; Run executes any subset of them
-// and returns uniform Result envelopes:
-//
-//	results, err := hgw.Run(ctx, []string{"udp1", "tcp1"},
-//		hgw.WithTags("je", "owrt", "ls1"),
-//		hgw.WithIterations(3),
-//	)
-//	if err != nil {
-//		log.Fatal(err)
-//	}
-//	fmt.Print(results.Render())
-//
-// Run schedules experiments concurrently and reuses Figure 1 testbeds
-// across experiments sharing the run's (tags, seed) requirements — a
-// lane of experiments runs sequentially on one testbed — so a
-// multi-experiment run builds far fewer testbeds than it runs
-// experiments. Registry, ExperimentIDs and Lookup expose the catalog,
-// so front-ends render table-driven instead of hand-maintaining
-// experiment lists; new experiments plug in once via Register.
-//
-// The legacy per-experiment entry points (RunUDP1, RunICMP, ...) remain
-// as thin wrappers over the registry and are deprecated.
-//
-// Lower-level building blocks (the simulator, packet codecs, transport
-// stacks, the NAT engine, the device profiles and the probers) live in
-// the internal packages; this facade is the supported API surface.
 package hgw
 
 import (
@@ -102,6 +68,13 @@ func Devices() []Profile { return gateway.Profiles() }
 
 // DeviceTags returns the 34 device tags.
 func DeviceTags() []string { return gateway.Tags() }
+
+// SyntheticDevices samples n synthetic gateway profiles from the
+// paper's population distributions (Figures 3-10 and Table 2),
+// deterministically from seed. Fleet runs (WithFleet) synthesize their
+// populations with exactly this function; it is exported so callers can
+// inspect a fleet's profiles or build custom testbeds from them.
+func SyntheticDevices(n int, seed int64) []Profile { return gateway.Synthesize(n, seed) }
 
 // NewTestbed builds and boots a testbed for custom experiments.
 func NewTestbed(cfg Config) (*Testbed, *Sim) {

@@ -359,7 +359,7 @@ func (r profileRow) build() Profile {
 	// Buffer sized for the target unidirectional queuing delay at the
 	// device's download rate (wire-speed devices budget against the
 	// 100 Mb/s path). The 16-bit TCP window caps the achievable delay for
-	// large-buffer devices; see EXPERIMENTS.md.
+	// large-buffer devices; see DESIGN.md §5.
 	rate := r.downMbps
 	if rate <= 0 {
 		rate = 100

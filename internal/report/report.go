@@ -1,7 +1,7 @@
 // Package report renders experiment results in the paper's style:
 // population plots with devices ordered by ascending median on the
-// x-axis (drawn here as ASCII bar charts), the Table 2 dot matrix, and
-// markdown tables for EXPERIMENTS.md.
+// x-axis (drawn here as ASCII bar charts), population summaries for
+// fleet-scale figures, the Table 2 dot matrix, and markdown tables.
 package report
 
 import (
@@ -87,6 +87,33 @@ func (f Figure) Render(width int, logScale bool) string {
 		fmt.Fprintf(&sb, "  %-5s %8.2f |%s%s\n", p.Tag, p.Median, strings.Repeat("#", n), iqr)
 	}
 	fmt.Fprintf(&sb, "  population median = %.2f, mean = %.2f\n", f.Median, f.Mean)
+	return sb.String()
+}
+
+// RenderSummary renders the figure as population statistics without
+// per-device rows: the median/mean headline plus a decile table of the
+// per-device medians. Fleet-scale figures (hundreds to thousands of
+// synthetic devices) use this instead of Render, whose row-per-device
+// bar chart stops being readable past the paper's 34.
+func (f Figure) RenderSummary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s [%s]  (%d devices)\n", f.Title, f.Unit, len(f.Points))
+	if len(f.Points) == 0 {
+		sb.WriteString("  (no data)\n")
+		return sb.String()
+	}
+	// Points are already sorted ascending by median, so deciles come
+	// from direct interpolation rather than stats.Quantile's copy+sort.
+	med := func(i int) float64 { return f.Points[i].Median }
+	fmt.Fprintf(&sb, "  population median = %.2f, mean = %.2f\n", f.Median, f.Mean)
+	fmt.Fprintf(&sb, "  %-10s", "deciles:")
+	for q := 0; q <= 10; q++ {
+		pos := float64(q) / 10 * float64(len(f.Points)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		fmt.Fprintf(&sb, " %8.1f", med(lo)+(pos-float64(lo))*(med(hi)-med(lo)))
+	}
+	sb.WriteString("\n")
 	return sb.String()
 }
 
@@ -211,7 +238,8 @@ func Table2(matrices []probe.ICMPMatrix, sctp, dccp []probe.ConnResult, dns []pr
 	return sb.String()
 }
 
-// CompareRow is one paper-vs-measured comparison line for EXPERIMENTS.md.
+// CompareRow is one paper-vs-measured comparison line for markdown
+// reports.
 type CompareRow struct {
 	Item     string
 	Paper    string

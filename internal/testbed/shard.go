@@ -1,0 +1,106 @@
+package testbed
+
+import (
+	"fmt"
+	"sync"
+
+	"hgw/internal/gateway"
+	"hgw/internal/sim"
+)
+
+// A Shard is one independent sub-testbed of a fleet: its own simulator,
+// switches and Figure 1 topology carrying a contiguous slice of the
+// fleet's devices. Shards share nothing, so they can be built and
+// probed concurrently, and a sweep over a fleet of N devices costs k
+// small topologies instead of one N-device topology whose broadcast
+// domains (DHCP, ARP flooding) and event queue grow with N.
+type Shard struct {
+	// Index is the shard's position in the fleet, 0-based.
+	Index int
+	// Testbed is the shard's booted Figure 1 environment.
+	Testbed *Testbed
+	// Sim is the simulator driving this shard.
+	Sim *sim.Sim
+	// Offset is the fleet-wide index of the shard's first device.
+	Offset int
+}
+
+// FleetConfig controls sharded fleet construction.
+type FleetConfig struct {
+	// Profiles is the full device population, in fleet order.
+	Profiles []gateway.Profile
+	// Shards is the number of sub-testbeds to partition the fleet
+	// across (default 1). Devices are assigned contiguously.
+	Shards int
+	// Seed seeds the fleet; shard s runs on an independent simulator
+	// seeded deterministically from Seed and s.
+	Seed int64
+}
+
+// shardSeedStride separates per-shard simulator seeds; any odd stride
+// works, a large prime keeps shard streams visibly unrelated.
+const shardSeedStride = 7919
+
+// Partition splits n devices across k shards as evenly as possible,
+// returning the start index of each shard plus a final n sentinel. The
+// first n%k shards take one extra device.
+func Partition(n, k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	bounds := make([]int, k+1)
+	per, extra := n/k, n%k
+	for i := 0; i < k; i++ {
+		bounds[i+1] = bounds[i] + per
+		if i < extra {
+			bounds[i+1]++
+		}
+	}
+	return bounds
+}
+
+// BuildFleet partitions cfg.Profiles across shards and brings every
+// shard's testbed up, building shards concurrently (each has its own
+// simulator). Unlike Run, setup failures return an error: a fleet
+// build is driven by CLI flags, not by tests that rely on a working
+// topology.
+func BuildFleet(cfg FleetConfig) ([]*Shard, error) {
+	n := len(cfg.Profiles)
+	if n == 0 {
+		return nil, fmt.Errorf("testbed: fleet has no devices")
+	}
+	bounds := Partition(n, cfg.Shards)
+	shards := make([]*Shard, len(bounds)-1)
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("testbed: fleet shard %d: %v", i, p)
+				}
+			}()
+			tb, s := Run(Config{
+				Profiles: cfg.Profiles[bounds[i]:bounds[i+1]],
+				Seed:     cfg.Seed + int64(i)*shardSeedStride,
+				// Disjoint VLAN ranges per shard: the fleet reads as one
+				// switched topology split across runner lanes.
+				VLANBase: 1000 + 2*bounds[i] + 2*i,
+			})
+			shards[i] = &Shard{Index: i, Testbed: tb, Sim: s, Offset: bounds[i]}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return shards, nil
+}

@@ -73,10 +73,41 @@ type Node struct {
 type Config struct {
 	// Tags selects the gateways (default: all 34).
 	Tags []string
+	// Profiles, when non-empty, supplies the gateway profiles directly
+	// and takes precedence over Tags. Synthetic fleets use this: their
+	// profiles exist only in the caller's hands, not in the Table 1
+	// inventory.
+	Profiles []gateway.Profile
 	// LinkConfig overrides the 100 Mb/s defaults.
 	Link netem.LinkConfig
 	// Seed seeds the simulator when Build creates one.
 	Seed int64
+	// VLANBase is the first VLAN id the testbed allocates (default
+	// 1000). Sharded fleets give each shard a disjoint VLAN range so a
+	// fleet reads as one switched topology split across sub-testbeds.
+	VLANBase int
+}
+
+// MaxNodes bounds the devices a single testbed can address: node
+// subnets are carved from 10.0.0.0/8 (WAN) and 192.168.0.0/16 plus
+// 172.16.0.0/12 (LAN), and the LAN space runs out first.
+const MaxNodes = 4094
+
+// wanSubnetAddr returns host addr `host` on node idx's WAN /24. The
+// first 255 nodes keep the paper's 10.0.<idx>.0/24 numbering; larger
+// fleets continue into 10.<idx/256>.<idx%256>.0/24.
+func wanSubnetAddr(idx int, host byte) netip.Addr {
+	return netpkt.Addr4(10, byte(idx>>8), byte(idx), host)
+}
+
+// lanGatewayAddr returns node idx's LAN-side gateway address. The
+// first 255 nodes keep the familiar 192.168.<idx>.1; larger fleets
+// continue into 172.16.0.0/12.
+func lanGatewayAddr(idx int) netip.Addr {
+	if idx < 256 {
+		return netpkt.Addr4(192, 168, byte(idx), 1)
+	}
+	return netpkt.Addr4(172, byte(16+idx>>8), byte(idx), 1)
 }
 
 // Testbed is the assembled Figure 1 environment.
@@ -89,6 +120,7 @@ type Testbed struct {
 	wanSwitch *netem.Switch
 	lanSwitch *netem.Switch
 	dnsZone   dnsmsg.Zone
+	vlanBase  int
 
 	// DNSQueriesUDP / DNSQueriesTCP count queries answered by the
 	// testbed DNS server per transport (used to detect gateways that
@@ -101,9 +133,27 @@ type Testbed struct {
 // addressing) without running any traffic. Call Start from a simulator
 // process (or use Run) to bring the DHCP leases up.
 func Build(s *sim.Sim, cfg Config) *Testbed {
-	tags := cfg.Tags
-	if len(tags) == 0 {
-		tags = gateway.Tags()
+	profiles := cfg.Profiles
+	if len(profiles) == 0 {
+		tags := cfg.Tags
+		if len(tags) == 0 {
+			tags = gateway.Tags()
+		}
+		profiles = make([]gateway.Profile, 0, len(tags))
+		for _, tag := range tags {
+			prof, ok := gateway.ByTag(tag)
+			if !ok {
+				panic("testbed: unknown gateway tag " + tag)
+			}
+			profiles = append(profiles, prof)
+		}
+	}
+	if len(profiles) > MaxNodes {
+		panic(fmt.Sprintf("testbed: %d devices exceed the %d-node address space; shard the fleet", len(profiles), MaxNodes))
+	}
+	vlanBase := cfg.VLANBase
+	if vlanBase <= 0 {
+		vlanBase = 1000
 	}
 	link := cfg.Link
 	if link.QueueBytes == 0 {
@@ -119,18 +169,15 @@ func Build(s *sim.Sim, cfg Config) *Testbed {
 		wanSwitch: netem.NewSwitch(s, "wan-sw"),
 		lanSwitch: netem.NewSwitch(s, "lan-sw"),
 		dnsZone:   dnsmsg.Zone{},
+		vlanBase:  vlanBase,
 	}
 
-	for i, tag := range tags {
-		prof, ok := gateway.ByTag(tag)
-		if !ok {
-			panic("testbed: unknown gateway tag " + tag)
-		}
+	for i, prof := range profiles {
 		idx := i + 1
 		node := &Node{
 			Index:      idx,
-			Tag:        tag,
-			ServerAddr: netpkt.Addr4(10, 0, byte(idx), 1),
+			Tag:        prof.Tag,
+			ServerAddr: wanSubnetAddr(idx, 1),
 		}
 
 		// Server side: vlan-if<idx> with 10.0.<idx>.1/24 plus a DHCP
@@ -139,7 +186,7 @@ func Build(s *sim.Sim, cfg Config) *Testbed {
 		node.ServerIf = sif
 		if _, err := dhcp.NewServer(tb.Server.UDP, dhcp.ServerConfig{
 			If:        sif,
-			PoolStart: netpkt.Addr4(10, 0, byte(idx), 50),
+			PoolStart: wanSubnetAddr(idx, 50),
 			PoolSize:  8,
 			Mask:      24,
 			Router:    node.ServerAddr,
@@ -150,8 +197,7 @@ func Build(s *sim.Sim, cfg Config) *Testbed {
 		}
 
 		// The gateway itself.
-		lanAddr := netpkt.Addr4(192, 168, byte(idx), 1)
-		node.Dev = gateway.New(s, prof, gateway.Config{LANAddr: lanAddr})
+		node.Dev = gateway.New(s, prof, gateway.Config{LANAddr: lanGatewayAddr(idx)})
 
 		// Client side: an unconfigured vlan interface.
 		cif := tb.Client.Host.AddIf(fmt.Sprintf("vlan-if%d", idx), netip.Addr{}, 0)
@@ -160,8 +206,8 @@ func Build(s *sim.Sim, cfg Config) *Testbed {
 		// Wire through the two switches on per-node VLANs, like the
 		// paper's HP-2524s (WAN and LAN on physically separate switches
 		// because of the shared-MAC devices).
-		wanVLAN := uint16(1000 + idx)
-		lanVLAN := uint16(2000 + idx)
+		wanVLAN := tb.wanVLAN(idx)
+		lanVLAN := tb.lanVLAN(idx)
 		netem.Connect(s, sif.Link, tb.wanSwitch.AddPort(wanVLAN), link)
 		node.wanLink = netem.Connect(s, node.Dev.WANIf.Link, tb.wanSwitch.AddPort(wanVLAN), link)
 		node.lanLink = netem.Connect(s, node.Dev.LANIf.Link, tb.lanSwitch.AddPort(lanVLAN), link)
@@ -188,6 +234,12 @@ func Build(s *sim.Sim, cfg Config) *Testbed {
 	tb.startDNSServer()
 	return tb
 }
+
+// wanVLAN and lanVLAN map a node index onto the testbed's VLAN range.
+// Adjacent ids per node keep the range dense so sharded fleets can pack
+// disjoint ranges into the 12-bit VLAN space of real switches.
+func (tb *Testbed) wanVLAN(idx int) uint16 { return uint16(tb.vlanBase + 2*idx) }
+func (tb *Testbed) lanVLAN(idx int) uint16 { return uint16(tb.vlanBase + 2*idx + 1) }
 
 // Node returns the node for a tag.
 func (tb *Testbed) Node(tag string) *Node {
@@ -222,7 +274,7 @@ func (tb *Testbed) Start(p *sim.Proc) error {
 	// Configure client VLAN interfaces (sequentially: each Acquire is
 	// quick in virtual time).
 	for _, n := range tb.Nodes {
-		serverNet := netip.PrefixFrom(netpkt.Addr4(10, 0, byte(n.Index), 0), 24)
+		serverNet := netip.PrefixFrom(n.ServerAddr, 24).Masked()
 		lease, err := dhcp.Acquire(p, tb.Client.UDP, n.ClientIf, dhcp.ClientConfig{
 			ExtraRoutes: []netip.Prefix{serverNet},
 		})
@@ -332,8 +384,7 @@ func (tb *Testbed) Zone() dnsmsg.Zone { return tb.dnsZone }
 func (tb *Testbed) AddLANHost(p *sim.Proc, n *Node, name string) (*Endpoint, error) {
 	ep := newEndpoint(tb.S, name)
 	ifc := ep.Host.AddIf("lan0", netip.Addr{}, 0)
-	lanVLAN := uint16(2000 + n.Index)
-	netem.Connect(tb.S, ifc.Link, tb.lanSwitch.AddPort(lanVLAN), netem.LinkConfig{QueueBytes: 256 * 1024})
+	netem.Connect(tb.S, ifc.Link, tb.lanSwitch.AddPort(tb.lanVLAN(n.Index)), netem.LinkConfig{QueueBytes: 256 * 1024})
 	if _, err := dhcp.Acquire(p, ep.UDP, ifc, dhcp.ClientConfig{DefaultRoute: true}); err != nil {
 		return nil, fmt.Errorf("testbed: lan host %s dhcp: %w", name, err)
 	}

@@ -17,15 +17,27 @@ type settings struct {
 	probeOpts   Options
 	parallelism int
 	progress    func(Progress)
+	fleet       int
+	shards      int
+	deviceCB    func(DeviceEvent)
 }
 
 func newSettings(opts []Option) settings {
-	s := settings{parallelism: defaultParallelism}
+	s := settings{parallelism: defaultParallelism, shards: 1}
 	for _, o := range opts {
 		o(&s)
 	}
 	if s.parallelism < 1 {
 		s.parallelism = 1
+	}
+	if s.fleet < 0 {
+		s.fleet = 0
+	}
+	if s.shards < 1 {
+		s.shards = 1
+	}
+	if s.fleet > 0 && s.shards > s.fleet {
+		s.shards = s.fleet
 	}
 	return s
 }
@@ -80,4 +92,47 @@ func WithParallelism(n int) Option {
 // but calls are serialized.
 func WithProgress(fn func(Progress)) Option {
 	return func(s *settings) { s.progress = fn }
+}
+
+// WithFleet switches the run to fleet mode: instead of the Table 1
+// inventory, experiments measure n synthetic devices sampled from the
+// paper's population distributions (deterministically from the run's
+// seed), partitioned across WithShards sub-testbeds. Only experiments
+// with a population Sweep can run in fleet mode; an empty id list runs
+// FleetIDs. WithTags is ignored in fleet mode.
+func WithFleet(n int) Option {
+	return func(s *settings) { s.fleet = n }
+}
+
+// WithShards partitions a fleet across k independent sub-testbeds
+// (default 1). Shards build and probe concurrently — each owns a
+// simulator — so bring-up and sweeps parallelize across shards instead
+// of serializing every DHCP handshake and probe on one topology, and
+// even single-threaded the per-shard topologies keep broadcast domains
+// and event queues small. The shard count is part of the
+// reproducibility contract: it decides the device partition and each
+// shard's simulator seed.
+func WithShards(k int) Option {
+	return func(s *settings) { s.shards = k }
+}
+
+// DeviceEvent is delivered to a WithDeviceResults callback once per
+// device as fleet shards complete an experiment's sweep.
+type DeviceEvent struct {
+	// ExperimentID is the registry id of the sweep that produced the
+	// result.
+	ExperimentID string
+	// Shard is the index of the sub-testbed the device ran on.
+	Shard int
+	// Result carries the device's tag and raw samples.
+	Result DeviceResult
+}
+
+// WithDeviceResults installs a streaming callback invoked once per
+// device during fleet runs, as each shard finishes an experiment's
+// sweep — front-ends can report fleet progress without waiting for the
+// merged population figure. Events from one shard arrive in device
+// order; shards interleave in completion order. Calls are serialized.
+func WithDeviceResults(fn func(DeviceEvent)) Option {
+	return func(s *settings) { s.deviceCB = fn }
 }

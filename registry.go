@@ -85,6 +85,14 @@ func DefaultIDs() []string {
 	return out
 }
 
+// FleetIDs returns the ids a fleet run executes by default: the
+// UDP-1/2/3 timeout sweeps, whose population medians are the paper's
+// headline statistics. Every experiment with a Sweep (also tcp1, tcp4
+// and bindrate) can be requested explicitly in fleet mode.
+func FleetIDs() []string {
+	return []string{"udp1", "udp2", "udp3"}
+}
+
 // Lookup resolves an id (or alias) to its experiment. Unknown ids
 // return an *UnknownExperimentError wrapping ErrUnknownExperiment.
 func Lookup(id string) (*Experiment, error) {

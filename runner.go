@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"hgw/internal/gateway"
 	"hgw/internal/testbed"
 )
 
@@ -42,6 +43,12 @@ type Runner struct {
 
 	mu            sync.Mutex
 	testbedsBuilt int
+
+	// fleet shards are built once per Runner and reused across its
+	// runs, amortizing bring-up like lane testbed sharing does.
+	fleetOnce sync.Once
+	shards    []*testbed.Shard
+	fleetErr  error
 }
 
 // NewRunner builds a Runner from options. A Runner is safe for
@@ -70,26 +77,15 @@ func Run(ctx context.Context, ids []string, opts ...Option) (Results, error) {
 
 // Run implements the package-level Run on this Runner's settings.
 func (r *Runner) Run(ctx context.Context, ids []string) (Results, error) {
+	if r.set.fleet > 0 {
+		return r.runFleet(ctx, ids)
+	}
 	if len(ids) == 0 {
 		ids = DefaultIDs()
 	}
-	var exps []*Experiment
-	seen := map[string]bool{}
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		if id == "" {
-			// Tolerate stray commas in CLI-assembled lists.
-			continue
-		}
-		e, err := Lookup(id)
-		if err != nil {
-			return nil, err
-		}
-		if seen[e.ID] {
-			continue
-		}
-		seen[e.ID] = true
-		exps = append(exps, e)
+	exps, err := resolveIDs(ids)
+	if err != nil {
+		return nil, err
 	}
 
 	total := len(exps)
@@ -186,6 +182,145 @@ func (r *Runner) Run(ctx context.Context, ids []string) (Results, error) {
 		}
 	}
 	return out, errors.Join(errs...)
+}
+
+// resolveIDs looks up, trims and deduplicates a requested id list.
+func resolveIDs(ids []string) ([]*Experiment, error) {
+	var exps []*Experiment
+	seen := map[string]bool{}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			// Tolerate stray commas in CLI-assembled lists.
+			continue
+		}
+		e, err := Lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		if seen[e.ID] {
+			continue
+		}
+		seen[e.ID] = true
+		exps = append(exps, e)
+	}
+	return exps, nil
+}
+
+// ErrNotFleetCapable is the sentinel wrapped by errors reporting an
+// experiment without a population Sweep requested in fleet mode.
+var ErrNotFleetCapable = errors.New("experiment has no population sweep")
+
+// runFleet executes experiments against a synthetic device fleet: n
+// profiles sampled from the paper's population distributions, split
+// across k shard testbeds. Experiments run one after another; each
+// experiment's sweep fans out across all shards concurrently and the
+// shard results merge into a single population Figure.
+func (r *Runner) runFleet(ctx context.Context, ids []string) (Results, error) {
+	if len(ids) == 0 {
+		ids = FleetIDs()
+	}
+	exps, err := resolveIDs(ids)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range exps {
+		if e.Sweep == nil {
+			return nil, fmt.Errorf("fleet mode: experiment %q: %w", e.ID, ErrNotFleetCapable)
+		}
+	}
+
+	r.fleetOnce.Do(func() {
+		profiles := gateway.Synthesize(r.set.fleet, r.set.seed)
+		r.mu.Lock()
+		r.testbedsBuilt += r.set.shards
+		r.mu.Unlock()
+		r.shards, r.fleetErr = testbed.BuildFleet(testbed.FleetConfig{
+			Profiles: profiles,
+			Shards:   r.set.shards,
+			Seed:     r.set.seed,
+		})
+	})
+	if r.fleetErr != nil {
+		return nil, r.fleetErr
+	}
+
+	total := len(exps)
+	out := make(Results, 0, total)
+	var errs []error
+	for i, e := range exps {
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, err)
+			r.emit(Progress{ID: e.ID, Index: i, Total: total, Done: true, Err: err})
+			continue
+		}
+		r.emit(Progress{ID: e.ID, Index: i, Total: total})
+		res, err := r.sweepFleet(e)
+		if err != nil {
+			errs = append(errs, err)
+		} else {
+			out = append(out, res)
+		}
+		r.emit(Progress{ID: e.ID, Index: i, Total: total, Done: true, Err: err})
+	}
+	return out, errors.Join(errs...)
+}
+
+// sweepFleet fans one experiment's Sweep out across every shard and
+// merges the per-shard device results into one population Result.
+// Shards own independent simulators, so the fan-out is safely
+// concurrent; merge order is shard order, so equal-settings runs render
+// byte-identically regardless of shard completion order.
+func (r *Runner) sweepFleet(e *Experiment) (*Result, error) {
+	parts := make([][]DeviceResult, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for _, sh := range r.shards {
+		sh := sh
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[sh.Index] = fmt.Errorf("experiment %s: shard %d: panic: %v", e.ID, sh.Index, p)
+				}
+			}()
+			res := e.Sweep(&Env{
+				Seed:    r.set.seed + int64(sh.Index),
+				Options: r.set.probeOpts,
+				Testbed: sh.Testbed,
+				Sim:     sh.Sim,
+			})
+			parts[sh.Index] = res
+			for _, dr := range res {
+				r.emitDevice(DeviceEvent{ExperimentID: e.ID, Shard: sh.Index, Result: dr})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	var all []DeviceResult
+	for _, part := range parts {
+		all = append(all, part...)
+	}
+	fig := MergeFigure(e.Title, e.Unit, all)
+	text := fig.RenderSummary()
+	if len(fig.Points) <= 40 {
+		text = fig.Render(50, e.LogScale)
+	}
+	return e.result(&fig, all, text), nil
+}
+
+// emitDevice serializes per-device fleet callbacks.
+func (r *Runner) emitDevice(ev DeviceEvent) {
+	if r.set.deviceCB == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.set.deviceCB(ev)
 }
 
 // newTestbed builds and boots one Figure 1 testbed for a lane,
