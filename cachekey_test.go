@@ -1,0 +1,108 @@
+package hgw_test
+
+import (
+	"errors"
+	"testing"
+
+	"hgw"
+)
+
+func TestCacheKeyCanonicalization(t *testing.T) {
+	base, err := hgw.CacheKey([]string{"udp1"}, hgw.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", base)
+	}
+
+	same := []struct {
+		name string
+		ids  []string
+		opts []hgw.Option
+	}{
+		{"alias resolves", []string{"tcp3"}, nil},
+		{"duplicates dedupe", []string{"tcp2", "tcp2"}, nil},
+		{"whitespace trims", []string{" tcp2 "}, nil},
+		{"zero options take defaults", []string{"tcp2"}, []hgw.Option{hgw.WithIterations(0)}},
+		{"explicit defaults match", []string{"tcp2"}, []hgw.Option{hgw.WithIterations(5), hgw.WithParallelism(4)}},
+	}
+	canonical, err := hgw.CacheKey([]string{"tcp2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range same {
+		got, err := hgw.CacheKey(tc.ids, tc.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != canonical {
+			t.Errorf("%s: key %s != canonical %s", tc.name, got, canonical)
+		}
+	}
+
+	different := []struct {
+		name string
+		ids  []string
+		opts []hgw.Option
+	}{
+		{"different id", []string{"udp2"}, []hgw.Option{hgw.WithSeed(1)}},
+		{"different seed", []string{"udp1"}, []hgw.Option{hgw.WithSeed(2)}},
+		{"id order matters", []string{"udp2", "udp1"}, []hgw.Option{hgw.WithSeed(1)}},
+		{"tags matter", []string{"udp1"}, []hgw.Option{hgw.WithSeed(1), hgw.WithTags("je")}},
+		{"iterations matter", []string{"udp1"}, []hgw.Option{hgw.WithSeed(1), hgw.WithIterations(9)}},
+		{"parallelism matters", []string{"udp1"}, []hgw.Option{hgw.WithSeed(1), hgw.WithParallelism(2)}},
+		{"fleet matters", []string{"udp1"}, []hgw.Option{hgw.WithSeed(1), hgw.WithFleet(10)}},
+		{"shards matter", []string{"udp1"}, []hgw.Option{hgw.WithSeed(1), hgw.WithFleet(10), hgw.WithShards(2)}},
+	}
+	seen := map[string]string{base: "base"}
+	for _, tc := range different {
+		got, err := hgw.CacheKey(tc.ids, tc.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s: key collides with %s", tc.name, prev)
+		}
+		seen[got] = tc.name
+	}
+	// udp1+udp2 in either order: both valid, but distinct keys because
+	// lane assignment (and thus testbed history) follows request order.
+	ab, _ := hgw.CacheKey([]string{"udp1", "udp2"}, hgw.WithSeed(1))
+	ba, _ := hgw.CacheKey([]string{"udp2", "udp1"}, hgw.WithSeed(1))
+	if ab == ba {
+		t.Error("id order canonicalized away; lane assignment depends on it")
+	}
+}
+
+func TestCacheKeyDefaultIDs(t *testing.T) {
+	empty, err := hgw.CacheKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := hgw.CacheKey(hgw.DefaultIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty != explicit {
+		t.Error("empty id list does not hash like DefaultIDs")
+	}
+	fleetEmpty, err := hgw.CacheKey(nil, hgw.WithFleet(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetExplicit, err := hgw.CacheKey(hgw.FleetIDs(), hgw.WithFleet(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleetEmpty != fleetExplicit {
+		t.Error("empty fleet id list does not hash like FleetIDs")
+	}
+}
+
+func TestCacheKeyUnknownID(t *testing.T) {
+	_, err := hgw.CacheKey([]string{"nosuch"})
+	if !errors.Is(err, hgw.ErrUnknownExperiment) {
+		t.Fatalf("err = %v, want ErrUnknownExperiment", err)
+	}
+}

@@ -1,0 +1,140 @@
+package hgw_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"hgw"
+)
+
+// TestFleetCancelMidRun checks that cancelling during a WithFleet(1000)
+// run interrupts the shard simulators mid-sweep: Run returns promptly
+// with the context error instead of finishing the fleet.
+func TestFleetCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		results hgw.Results
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		// 50 iterations over 1000 devices would run for minutes
+		// uncancelled; the test cancels a moment after it starts.
+		results, err := hgw.Run(ctx, []string{"udp3"},
+			hgw.WithSeed(3), hgw.WithFleet(1000), hgw.WithShards(2),
+			hgw.WithIterations(50))
+		done <- outcome{results, err}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+
+	select {
+	case out := <-done:
+		if !errors.Is(out.err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", out.err)
+		}
+		if len(out.results) != 0 {
+			t.Errorf("cancelled run returned %d results, want none", len(out.results))
+		}
+		var re *hgw.RunError
+		if !errors.As(out.err, &re) {
+			t.Fatalf("error %T does not unwrap to *RunError", out.err)
+		}
+		if len(re.IDs()) != 1 || re.IDs()[0] != "udp3" {
+			t.Errorf("RunError.IDs() = %v, want [udp3]", re.IDs())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled fleet run did not return within 30s")
+	}
+}
+
+// TestFleetCancelPoisonsRunner checks that a Runner whose shards were
+// abandoned mid-sweep refuses further runs instead of reusing the
+// half-run simulators nondeterministically.
+func TestFleetCancelPoisonsRunner(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel on the experiment's progress-start event: it fires after
+	// runFleet's between-experiments ctx check, so the cancellation is
+	// guaranteed to land on the sweep itself, whatever the machine's
+	// timing — the case that abandons the shard simulators.
+	r := hgw.NewRunner(hgw.WithSeed(4), hgw.WithFleet(400), hgw.WithShards(2),
+		hgw.WithIterations(50),
+		hgw.WithProgress(func(p hgw.Progress) {
+			if !p.Done {
+				cancel()
+			}
+		}))
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Run(ctx, []string{"udp1"})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled fleet run did not return within 30s")
+	}
+	if _, err := r.Run(context.Background(), []string{"udp1"}); err == nil ||
+		!strings.Contains(err.Error(), "abandoned") {
+		t.Fatalf("reusing an abandoned Runner: err = %v, want abandoned-shards error", err)
+	}
+}
+
+// TestStandaloneCancelMidRun checks that Standalone experiments are
+// interruptible too: a cancelled tcp2 run aborts its per-device
+// transfer simulations instead of finishing all 34 devices.
+func TestStandaloneCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// 256 MB transfers across 34 devices would run for minutes
+		// uncancelled.
+		_, err := hgw.Run(ctx, []string{"tcp2"},
+			hgw.WithSeed(2), hgw.WithTransferBytes(256<<20))
+		done <- err
+	}()
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled tcp2 run did not return within 30s")
+	}
+}
+
+// TestRunErrorListsAllFailures checks the typed run error: every failed
+// experiment id is reported, not just the first one a lane returned.
+func TestRunErrorListsAllFailures(t *testing.T) {
+	_, err := hgw.Run(context.Background(), []string{"tcp2", "holepunch"},
+		hgw.WithTags("zzz"), hgw.WithIterations(1))
+	if err == nil {
+		t.Fatal("run with a bogus tag succeeded")
+	}
+	var re *hgw.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %T does not unwrap to *RunError", err)
+	}
+	ids := re.IDs()
+	if len(ids) != 2 || ids[0] != "tcp2" || ids[1] != "holepunch" {
+		t.Fatalf("RunError.IDs() = %v, want [tcp2 holepunch]", ids)
+	}
+	for _, id := range ids {
+		if !strings.Contains(err.Error(), "experiment "+id) {
+			t.Errorf("error text lacks %q: %v", id, err)
+		}
+	}
+	var ee *hgw.ExperimentError
+	if !errors.As(err, &ee) {
+		t.Fatalf("error does not expose *ExperimentError")
+	}
+}

@@ -27,6 +27,7 @@ var (
 	seed     = flag.Int64("seed", 1, "simulation seed")
 	parallel = flag.Int("parallel", 0, "max concurrent experiments (0 = default 4; affects testbed sharing)")
 	markdown = flag.Bool("markdown", false, "also emit markdown tables for figure results")
+	csvOut   = flag.Bool("csv", false, "emit Table 2 as CSV instead of the dot matrix")
 	fleet    = flag.Int("fleet", 0, "fleet mode: measure N synthetic devices instead of the 34-device inventory")
 	shards   = flag.Int("shards", 1, "partition the fleet across K concurrent sub-testbeds")
 )
@@ -67,7 +68,14 @@ func main() {
 	}
 	fmt.Print(standalone.Render())
 
-	if table, ok := results.Table2(); ok {
+	if *csvOut {
+		if ok, csvErr := results.Table2CSV(os.Stdout); csvErr != nil {
+			fmt.Fprintln(os.Stderr, "hgbench: table2 csv:", csvErr)
+			os.Exit(1)
+		} else if !ok {
+			fmt.Fprintln(os.Stderr, "hgbench: -csv needs at least one of icmp, sctp, dccp, dns")
+		}
+	} else if table, ok := results.Table2(); ok {
 		fmt.Printf("\n===== Table 2: ICMP / SCTP / DCCP / DNS combined =====\n")
 		fmt.Print(table)
 	}

@@ -1,0 +1,68 @@
+// Command hgwd serves the experiment registry as a measurement
+// service: clients POST experiment requests as jobs, a worker pool
+// drains them through hgw.Run, and a content-addressed cache answers
+// repeated deterministic requests with byte-identical results without
+// re-simulating.
+//
+//	hgwd -addr 127.0.0.1:8080
+//	curl localhost:8080/v1/experiments
+//	curl -X POST localhost:8080/v1/jobs -d '{"ids":["udp3"],"seed":1,"fleet":1000,"shards":8}'
+//	curl localhost:8080/v1/jobs/job-1
+//	curl localhost:8080/v1/jobs/job-1/stream
+//	curl localhost:8080/v1/stats
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the listener stops,
+// in-flight simulations are interrupted mid-run (their jobs finish
+// canceled), and queued jobs are canceled before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hgw/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	workers := flag.Int("workers", 2, "worker pool size (concurrent jobs)")
+	queue := flag.Int("queue", 16, "job queue depth (submissions past it get 429)")
+	cache := flag.Int("cache", 64, "result cache capacity in completed runs (LRU)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue, CacheEntries: *cache})
+	svc.Start(ctx)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("hgwd: listen: %v", err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go func() {
+		<-ctx.Done()
+		log.Print("hgwd: shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("hgwd: http shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("hgwd: listening on %s (%d workers, queue %d, cache %d)",
+		ln.Addr(), *workers, *queue, *cache)
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("hgwd: serve: %v", err)
+	}
+	svc.Shutdown()
+	log.Print("hgwd: stopped")
+}

@@ -50,13 +50,29 @@
 // pure function of (ids, fleet, shards, seed, options): equal settings
 // render byte-identically on any machine.
 //
+// # Errors and cancellation
+//
+// When experiments fail, Run returns a *RunError carrying one
+// *ExperimentError per failed experiment — every failure across every
+// lane, not just the first one encountered — alongside the Results
+// that did complete; RunError.IDs lists exactly which experiments need
+// re-running, and errors.Is/As see each underlying cause through the
+// usual unwrapping. Cancelling the context interrupts in-flight
+// simulations between events, so even a mid-fleet cancellation returns
+// promptly with the context error; a Runner whose fleet shards were
+// abandoned mid-sweep refuses subsequent runs rather than reusing
+// half-run simulator state.
+//
 // # Reproducibility
 //
 // All scheduling knobs that influence what an experiment observes —
 // WithParallelism lane assignment, the fleet shard count, every seed —
 // are explicit parts of the contract rather than machine-dependent
 // defaults, which is why equal-seed runs are comparable across CI and
-// laptops alike.
+// laptops alike. CacheKey condenses the contract into a content
+// address: a stable hash of everything output is a function of, which
+// is what lets the hgwd daemon (internal/service, DESIGN.md §8) answer
+// repeated requests from cache byte-identically.
 //
 // The legacy per-experiment entry points (RunUDP1, RunICMP, ...) remain
 // as thin wrappers over the registry and are deprecated.

@@ -206,7 +206,11 @@ func newFig2Experiment() *Experiment {
 				return nil, err
 			}
 			tb, s := testbed.Run(testbed.Config{Tags: env.Tags, Seed: env.Seed})
+			s.SetInterrupt(func() bool { return ctx.Err() != nil })
 			f := report.NewFigure(st.name, "sec", probe.UDPTimeouts(tb, s, st.mode, 0, env.Options))
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			figs[st.name] = f
 			series[st.name] = map[string]float64{}
 			for _, p := range f.Points {
@@ -273,7 +277,7 @@ func newThroughputExperiment() *Experiment {
 		Ref: "Figures 8-9", Standalone: true,
 		Note: "paper: 13 devices at wire speed; dl10/ls1 worst; best delay ~2 ms, ls1 110 ms"}
 	e.Run = func(ctx context.Context, env *Env) (*Result, error) {
-		res, err := measureThroughputAll(env)
+		res, err := measureThroughputAll(ctx, env)
 		if err != nil {
 			return nil, err
 		}
@@ -295,7 +299,7 @@ func newThroughputExperiment() *Experiment {
 	return e
 }
 
-func measureThroughputAll(env *Env) ([]Throughput, error) {
+func measureThroughputAll(ctx context.Context, env *Env) ([]Throughput, error) {
 	tags := env.Tags
 	if len(tags) == 0 {
 		tags = DeviceTags()
@@ -307,6 +311,7 @@ func measureThroughputAll(env *Env) ([]Throughput, error) {
 			return nil, fmt.Errorf("unknown gateway tag %q", tag)
 		}
 	}
+	interrupt := func() bool { return ctx.Err() != nil }
 	results := make([]Throughput, len(tags))
 	sem := make(chan struct{}, runtime.NumCPU())
 	var wg sync.WaitGroup
@@ -317,10 +322,16 @@ func measureThroughputAll(env *Env) ([]Throughput, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i] = probe.MeasureThroughput(tag, env.Options, env.Seed)
+			if ctx.Err() != nil {
+				return
+			}
+			results[i] = probe.MeasureThroughputInterruptible(tag, env.Options, env.Seed, interrupt)
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return results, nil
 }
 

@@ -37,6 +37,11 @@ type Options struct {
 	Verdict time.Duration
 }
 
+// Normalized returns the options with every zero field replaced by its
+// default, so semantically equal option sets compare (and hash) equal:
+// a zero Options and an explicit {Iterations: 5} run the same probes.
+func (o Options) Normalized() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.Iterations <= 0 {
 		o.Iterations = 5
@@ -82,6 +87,11 @@ func (r DeviceResult) Point() stats.DevicePoint {
 // runs each measurement in parallel across all gateways), waits for all
 // to finish, and returns their results keyed by tag order of tb.Nodes.
 // It must be called from outside the simulator (it calls s.Run).
+//
+// When the simulator's interrupt fires mid-run (the driver abandoned
+// the measurement, e.g. on context cancellation), RunPerDevice returns
+// nil: the results are incomplete and the testbed is mid-measurement,
+// so the caller must discard both.
 func RunPerDevice(tb *testbed.Testbed, s *sim.Sim, name string,
 	fn func(p *sim.Proc, n *testbed.Node) DeviceResult) []DeviceResult {
 
@@ -94,6 +104,9 @@ func RunPerDevice(tb *testbed.Testbed, s *sim.Sim, name string,
 		})
 	}
 	s.Run(0)
+	if s.Interrupted() {
+		return nil
+	}
 	for i, pr := range procs {
 		if !pr.Exited() {
 			panic("probe: " + name + " stalled on " + tb.Nodes[i].Tag)

@@ -95,18 +95,31 @@ const blockSize = 2048
 // device on a fresh testbed (the paper measures throughput one gateway
 // at a time to avoid overloading the test network).
 func MeasureThroughput(tag string, opts Options, seed int64) Throughput {
+	return MeasureThroughputInterruptible(tag, opts, seed, nil)
+}
+
+// MeasureThroughputInterruptible is MeasureThroughput with an optional
+// interrupt polled between simulator events (nil never interrupts).
+// When it fires the measurement is abandoned and the remainder of the
+// result stays zero; callers detect the abort through their own
+// cancellation signal.
+func MeasureThroughputInterruptible(tag string, opts Options, seed int64, interrupt func() bool) Throughput {
 	opts = opts.withDefaults()
 	res := Throughput{Tag: tag}
 
 	// Unidirectional upload.
 	run1 := func(up bool) (float64, float64) {
 		tb, s := testbed.Run(testbed.Config{Tags: []string{tag}, Seed: seed})
+		s.SetInterrupt(interrupt)
 		n := tb.Nodes[0]
 		var mbps, delay float64
 		done := s.Spawn("xfer", func(p *sim.Proc) {
 			mbps, delay = oneTransfer(p, tb, n, up, opts.TransferBytes)
 		})
 		s.Run(0)
+		if s.Interrupted() {
+			return 0, 0
+		}
 		if !done.Exited() {
 			panic("probe: transfer stalled for " + tag)
 		}
@@ -117,6 +130,7 @@ func MeasureThroughput(tag string, opts Options, seed int64) Throughput {
 
 	// Bidirectional: both directions at once on one testbed.
 	tb, s := testbed.Run(testbed.Config{Tags: []string{tag}, Seed: seed})
+	s.SetInterrupt(interrupt)
 	n := tb.Nodes[0]
 	var upM, upD, downM, downD float64
 	p1 := s.Spawn("xfer-up", func(p *sim.Proc) {
@@ -126,6 +140,9 @@ func MeasureThroughput(tag string, opts Options, seed int64) Throughput {
 		downM, downD = oneTransfer(p, tb, n, false, opts.TransferBytes)
 	})
 	s.Run(0)
+	if s.Interrupted() {
+		return res
+	}
 	if !p1.Exited() || !p2.Exited() {
 		panic("probe: bidirectional transfer stalled for " + tag)
 	}

@@ -5,7 +5,9 @@
 package report
 
 import (
+	"encoding/csv"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strings"
@@ -162,28 +164,32 @@ func MultiSeries(title, unit string, order []string, series map[string]map[strin
 	return sb.String()
 }
 
-// Table2 renders the paper's Table 2: one row per device, one column
-// per test, a dot where the test passes.
-func Table2(matrices []probe.ICMPMatrix, sctp, dccp []probe.ConnResult, dns []probe.DNSResult) string {
-	type row struct {
-		tag  string
-		cell map[string]bool
-	}
-	cols := []string{"DCCP", "DNS/TCP", "DNS/UDP", "ICMP:Host", "SCTP"}
+// table2Row is one device's Table 2 cells keyed by column name.
+type table2Row struct {
+	tag  string
+	cell map[string]bool
+}
+
+// table2Rows assembles the Table 2 grid shared by the dot-matrix and
+// CSV renderers: the column names in presentation order and one row per
+// device, sorted by tag.
+func table2Rows(matrices []probe.ICMPMatrix, sctp, dccp []probe.ConnResult,
+	dns []probe.DNSResult) (cols []string, rows []*table2Row) {
+
+	cols = []string{"DCCP", "DNS/TCP", "DNS/UDP", "ICMP:Host", "SCTP"}
 	for _, pfx := range []string{"TCP", "UDP"} {
 		for k := netpkt.ICMPKind(0); k < netpkt.NumICMPKinds; k++ {
 			cols = append(cols, pfx+":"+k.String())
 		}
 	}
-	byTag := map[string]*row{}
-	ordered := []string{}
-	get := func(tag string) *row {
+	byTag := map[string]*table2Row{}
+	get := func(tag string) *table2Row {
 		if r, ok := byTag[tag]; ok {
 			return r
 		}
-		r := &row{tag: tag, cell: map[string]bool{}}
+		r := &table2Row{tag: tag, cell: map[string]bool{}}
 		byTag[tag] = r
-		ordered = append(ordered, tag)
+		rows = append(rows, r)
 		return r
 	}
 	for _, m := range matrices {
@@ -205,7 +211,14 @@ func Table2(matrices []probe.ICMPMatrix, sctp, dccp []probe.ConnResult, dns []pr
 		r.cell["DNS/UDP"] = d.UDPAnswers
 		r.cell["DNS/TCP"] = d.TCPAnswers
 	}
-	sort.Strings(ordered)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].tag < rows[j].tag })
+	return cols, rows
+}
+
+// Table2 renders the paper's Table 2: one row per device, one column
+// per test, a dot where the test passes.
+func Table2(matrices []probe.ICMPMatrix, sctp, dccp []probe.ConnResult, dns []probe.DNSResult) string {
+	cols, rows := table2Rows(matrices, sctp, dccp, dns)
 
 	var sb strings.Builder
 	sb.WriteString(fmt.Sprintf("%-6s", "tag"))
@@ -213,9 +226,8 @@ func Table2(matrices []probe.ICMPMatrix, sctp, dccp []probe.ConnResult, dns []pr
 		sb.WriteString(fmt.Sprintf(" %2d", i+1))
 	}
 	sb.WriteString("   (columns below)\n")
-	for _, tag := range ordered {
-		r := byTag[tag]
-		sb.WriteString(fmt.Sprintf("%-6s", tag))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-6s", r.tag))
 		dots := 0
 		for _, c := range cols {
 			if r.cell[c] {
@@ -236,6 +248,36 @@ func Table2(matrices []probe.ICMPMatrix, sctp, dccp []probe.ConnResult, dns []pr
 	}
 	sb.WriteString("\n")
 	return sb.String()
+}
+
+// Table2CSV writes the same grid as Table2 in machine-readable CSV:
+// a header row of "tag" plus the column names, then one row per device
+// with 1 where the test passes and 0 where it fails.
+func Table2CSV(w io.Writer, matrices []probe.ICMPMatrix, sctp, dccp []probe.ConnResult,
+	dns []probe.DNSResult) error {
+
+	cols, rows := table2Rows(matrices, sctp, dccp, dns)
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"tag"}, cols...)); err != nil {
+		return err
+	}
+	record := make([]string, 0, len(cols)+1)
+	for _, r := range rows {
+		record = record[:0]
+		record = append(record, r.tag)
+		for _, c := range cols {
+			if r.cell[c] {
+				record = append(record, "1")
+			} else {
+				record = append(record, "0")
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // CompareRow is one paper-vs-measured comparison line for markdown

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"hgw"
+)
+
+// CacheStats is a point-in-time snapshot of the result cache's
+// counters, served by GET /v1/stats.
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+}
+
+// cacheEntry is one completed run, stored under its hgw.CacheKey
+// content address. results holds the canonical Results JSON exactly as
+// first marshalled — cache hits serve these bytes verbatim, which is
+// what makes the byte-identity guarantee testable — and events holds
+// the per-device rows for replaying a fleet job's NDJSON stream.
+type cacheEntry struct {
+	key     string
+	results []byte
+	events  []hgw.DeviceEvent
+}
+
+// resultCache is a content-addressed LRU of completed run outputs.
+// Because hgw.Run output is a pure function of the cache key's inputs,
+// entries never go stale: eviction exists only to bound memory.
+type resultCache struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List // front = most recently used; values are *cacheEntry
+	byKey  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// get looks key up, counting a hit or miss and refreshing recency.
+// Submit-path lookups use it; the per-worker recheck uses peek so a
+// queued duplicate doesn't double-count a miss.
+func (c *resultCache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// peek is get without counter updates (recency still refreshes): the
+// worker's pre-run recheck for jobs that were queued while an identical
+// job was in flight.
+func (c *resultCache) peek(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put stores e, evicting from the least recently used end past max
+// entries. Storing an already-present key refreshes its recency and
+// keeps the existing bytes (equal by construction — the key is a
+// content address).
+func (c *resultCache) put(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[e.key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[e.key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.max}
+}

@@ -1,0 +1,468 @@
+// Package service turns the hgw experiment registry into a shared
+// measurement facility: clients submit experiment requests as jobs, a
+// bounded FIFO queue feeds a fixed worker pool draining jobs through
+// hgw.Run, and a content-addressed LRU cache answers repeated requests
+// with the byte-identical results of the first run (hgw.Run output is a
+// pure function of the request's cache key, so cached answers are
+// exactly what a re-run would produce). Command hgwd exposes the
+// service over HTTP; DESIGN.md §8 documents the architecture.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hgw"
+)
+
+// Spec is a job request: the subset of hgw.Run inputs a client can
+// submit. The zero value of every field means "the registry default"
+// (all experiments, seed 0, the 34-device inventory, default probe
+// options). Field names double as the POST /v1/jobs JSON body.
+type Spec struct {
+	IDs           []string `json:"ids,omitempty"`
+	Tags          []string `json:"tags,omitempty"`
+	Seed          int64    `json:"seed"`
+	Iterations    int      `json:"iterations,omitempty"`
+	TransferBytes int      `json:"transfer_bytes,omitempty"`
+	Parallelism   int      `json:"parallelism,omitempty"`
+	Fleet         int      `json:"fleet,omitempty"`
+	Shards        int      `json:"shards,omitempty"`
+}
+
+// options translates the Spec into hgw.Run options (without callbacks,
+// which the worker adds per job).
+func (sp Spec) options() []hgw.Option {
+	opts := []hgw.Option{hgw.WithSeed(sp.Seed)}
+	if len(sp.Tags) > 0 {
+		opts = append(opts, hgw.WithTags(sp.Tags...))
+	}
+	if sp.Iterations > 0 {
+		opts = append(opts, hgw.WithIterations(sp.Iterations))
+	}
+	if sp.TransferBytes > 0 {
+		opts = append(opts, hgw.WithTransferBytes(sp.TransferBytes))
+	}
+	if sp.Parallelism > 0 {
+		opts = append(opts, hgw.WithParallelism(sp.Parallelism))
+	}
+	if sp.Fleet > 0 {
+		opts = append(opts, hgw.WithFleet(sp.Fleet), hgw.WithShards(sp.Shards))
+	}
+	return opts
+}
+
+// CacheKey returns the spec's content address (hgw.CacheKey over the
+// spec's ids and options). Unknown experiment ids surface here, before
+// the job is accepted.
+func (sp Spec) CacheKey() (string, error) {
+	return hgw.CacheKey(sp.IDs, sp.options()...)
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// The job lifecycle: queued → running → one of the terminal states.
+// Cache hits jump straight from queued to done; shutdown moves queued
+// and running jobs to canceled.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// terminal reports whether a job in this status will never change again.
+func (s Status) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Job is one submitted measurement request. All mutable state is
+// guarded by mu; readers use Snapshot or the streaming helpers.
+type Job struct {
+	// ID is the service-assigned job identifier.
+	ID string
+	// Key is the spec's content address in the result cache.
+	Key string
+	// Spec is the request as submitted.
+	Spec Spec
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast on event append and on finish
+	status   Status
+	errText  string
+	cached   bool
+	results  json.RawMessage
+	events   []hgw.DeviceEvent
+	elapsed  time.Duration // wall time spent in hgw.Run (0 for cache hits)
+	done     chan struct{} // closed when the job reaches a terminal state
+	submitAt time.Time
+}
+
+func newJob(id, key string, spec Spec) *Job {
+	j := &Job{ID: id, Key: key, Spec: spec, status: StatusQueued,
+		done: make(chan struct{}), submitAt: time.Now()}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// setRunning marks the job in flight; it reports false when the job is
+// already terminal (canceled while queued).
+func (j *Job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.terminal() {
+		return false
+	}
+	j.status = StatusRunning
+	return true
+}
+
+// appendEvent buffers one streamed device row and wakes stream readers.
+func (j *Job) appendEvent(ev hgw.DeviceEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, ev)
+	j.cond.Broadcast()
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(status Status, results json.RawMessage, events []hgw.DeviceEvent,
+	cached bool, elapsed time.Duration, errText string) {
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.terminal() {
+		return
+	}
+	j.status = status
+	j.results = results
+	if events != nil {
+		j.events = events
+	}
+	j.cached = cached
+	j.elapsed = elapsed
+	j.errText = errText
+	close(j.done)
+	j.cond.Broadcast()
+}
+
+// WaitEvents blocks until the job buffers more than sent device rows,
+// reaches a terminal state, or Wake is called, then returns the rows
+// after sent and whether the job is terminal. Callers loop; a return
+// with no new rows and terminal false is a deliberate wakeup, giving
+// the caller a chance to re-check external state (a dropped client).
+func (j *Job) WaitEvents(sent int) (next []hgw.DeviceEvent, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.events) <= sent && !j.status.terminal() {
+		j.cond.Wait()
+	}
+	return append([]hgw.DeviceEvent(nil), j.events[sent:]...), j.status.terminal()
+}
+
+// Wake unblocks every WaitEvents caller without changing job state.
+// Stream handlers arrange a Wake when their client disconnects, so a
+// handler isn't pinned for the lifetime of a long job nobody watches.
+func (j *Job) Wake() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cond.Broadcast()
+}
+
+// View is the JSON shape of a job in API responses. Results holds the
+// canonical hgw.Results JSON verbatim, so equal-key jobs carry
+// byte-identical Results fields.
+type View struct {
+	ID        string          `json:"id"`
+	Key       string          `json:"key"`
+	Spec      Spec            `json:"spec"`
+	Status    Status          `json:"status"`
+	Error     string          `json:"error,omitempty"`
+	Cached    bool            `json:"cached"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Devices   int             `json:"devices"`
+	Results   json.RawMessage `json:"results,omitempty"`
+}
+
+// Snapshot returns the job's current state for JSON rendering.
+func (j *Job) Snapshot() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return View{
+		ID:        j.ID,
+		Key:       j.Key,
+		Spec:      j.Spec,
+		Status:    j.status,
+		Error:     j.errText,
+		Cached:    j.cached,
+		ElapsedMS: float64(j.elapsed) / float64(time.Millisecond),
+		Devices:   len(j.events),
+		Results:   j.results,
+	}
+}
+
+// Errors Submit returns besides invalid-spec errors from hgw.CacheKey.
+var (
+	// ErrQueueFull reports a bounded queue with no room; clients retry
+	// later (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrStopped reports a submission to a service that is shutting
+	// down or was never started (HTTP 503).
+	ErrStopped = errors.New("service: not accepting jobs")
+)
+
+// Config sizes the service. Zero fields take the defaults.
+type Config struct {
+	// Workers is the worker-pool size (default 2). Each worker runs one
+	// job at a time through hgw.Run.
+	Workers int
+	// QueueDepth bounds the FIFO of jobs waiting for a worker (default
+	// 16); Submit fails with ErrQueueFull past it.
+	QueueDepth int
+	// CacheEntries bounds the content-addressed result cache (default
+	// 64 completed runs; LRU eviction).
+	CacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 64
+	}
+	return c
+}
+
+// Stats is the service-wide counter snapshot served by GET /v1/stats.
+type Stats struct {
+	Cache         CacheStats     `json:"cache"`
+	QueueDepth    int            `json:"queue_depth"`
+	QueueCapacity int            `json:"queue_capacity"`
+	Workers       int            `json:"workers"`
+	Jobs          map[Status]int `json:"jobs"`
+}
+
+// Service is the measurement daemon's core: queue, workers and cache.
+// Create with New, begin draining with Start, stop with Shutdown.
+type Service struct {
+	cfg   Config
+	cache *resultCache
+	queue chan *Job
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // insertion order, for Jobs()
+	nextID int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New builds a Service from cfg. Jobs are not accepted until Start.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:   cfg,
+		cache: newResultCache(cfg.CacheEntries),
+		queue: make(chan *Job, cfg.QueueDepth),
+		jobs:  map[string]*Job{},
+	}
+}
+
+// Start spawns the worker pool. Cancelling ctx has the same effect as
+// Shutdown: workers stop picking up jobs and the in-flight runs are
+// interrupted (hgw.Run aborts mid-simulation on context cancellation).
+func (s *Service) Start(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctx != nil {
+		return
+	}
+	s.ctx, s.cancel = context.WithCancel(ctx)
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Submit validates and registers a job. A cache hit completes the job
+// synchronously from the stored bytes; otherwise the job is enqueued
+// FIFO, failing with ErrQueueFull when the queue is at capacity.
+func (s *Service) Submit(spec Spec) (*Job, error) {
+	s.mu.Lock()
+	ctx := s.ctx
+	s.mu.Unlock()
+	if ctx == nil || ctx.Err() != nil {
+		return nil, ErrStopped
+	}
+	key, err := spec.CacheKey()
+	if err != nil {
+		return nil, err
+	}
+
+	// Accept-and-register is one critical section, re-checking the
+	// context under the same lock Shutdown's queue drain holds: a job
+	// either lands in the queue before the drain runs (and gets
+	// canceled by it) or observes the cancelled context and is
+	// rejected — it can never be enqueued after the drain with no
+	// worker left to run it. Registration only happens for accepted
+	// jobs, so a full queue leaves no stale entry behind.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctx.Err() != nil {
+		return nil, ErrStopped
+	}
+	s.nextID++
+	job := newJob(fmt.Sprintf("job-%d", s.nextID), key, spec)
+	if e, ok := s.cache.get(key); ok {
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+		job.finish(StatusDone, e.results, e.events, true, 0, "")
+		return job, nil
+	}
+	select {
+	case s.queue <- job:
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+		return job, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// Job returns a submitted job by id.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every registered job in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.jobs[id]
+	}
+	return out
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Cache:         s.cache.stats(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Workers:       s.cfg.Workers,
+		Jobs:          map[Status]int{},
+	}
+	for _, j := range s.Jobs() {
+		st.Jobs[j.Status()]++
+	}
+	return st
+}
+
+// Shutdown cancels the service context, interrupting in-flight runs
+// (their jobs finish canceled), waits for the workers to exit, and
+// cancels every job still queued. It is safe to call more than once.
+func (s *Service) Shutdown() {
+	s.mu.Lock()
+	cancel := s.cancel
+	s.mu.Unlock()
+	if cancel == nil {
+		return
+	}
+	cancel()
+	s.wg.Wait()
+	// Drain under the same lock Submit enqueues under (see Submit), so
+	// no job can slip into the queue after the drain.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		select {
+		case job := <-s.queue:
+			job.finish(StatusCanceled, nil, nil, false, 0, "service shut down before the job ran")
+		default:
+			return
+		}
+	}
+}
+
+// worker drains the queue until the service context is cancelled.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case job := <-s.queue:
+			s.runJob(job)
+		}
+	}
+}
+
+// runJob executes one job through hgw.Run and stores the marshalled
+// results under the job's content address.
+func (s *Service) runJob(job *Job) {
+	if s.ctx.Err() != nil {
+		job.finish(StatusCanceled, nil, nil, false, 0, "service shut down before the job ran")
+		return
+	}
+	// An identical job may have completed while this one sat in the
+	// queue; serve the stored bytes instead of recomputing.
+	if e, ok := s.cache.peek(job.Key); ok {
+		job.finish(StatusDone, e.results, e.events, true, 0, "")
+		return
+	}
+	if !job.setRunning() {
+		return
+	}
+	opts := job.Spec.options()
+	if job.Spec.Fleet > 0 {
+		opts = append(opts, hgw.WithDeviceResults(job.appendEvent))
+	}
+	start := time.Now()
+	results, err := hgw.Run(s.ctx, job.Spec.IDs, opts...)
+	elapsed := time.Since(start)
+	if err != nil {
+		status := StatusFailed
+		if s.ctx.Err() != nil {
+			status = StatusCanceled
+		}
+		job.finish(status, nil, nil, false, elapsed, err.Error())
+		return
+	}
+	bytes, err := json.Marshal(results)
+	if err != nil {
+		job.finish(StatusFailed, nil, nil, false, elapsed, "marshal results: "+err.Error())
+		return
+	}
+	job.mu.Lock()
+	events := job.events
+	job.mu.Unlock()
+	s.cache.put(&cacheEntry{key: job.Key, results: bytes, events: events})
+	job.finish(StatusDone, bytes, nil, false, elapsed, "")
+}

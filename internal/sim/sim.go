@@ -81,16 +81,18 @@ func (h *eventHeap) Pop() any {
 // Sim is a discrete-event simulator instance. The zero value is not
 // usable; create one with New.
 type Sim struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	rng     *rand.Rand
-	token   chan struct{} // returned to the scheduler when a process parks or exits
-	procs   int           // live (not yet exited) processes
-	parked  int           // processes currently parked
-	stopped bool
-	running bool
-	label   func() string // optional diagnostics
+	now         Time
+	seq         uint64
+	events      eventHeap
+	rng         *rand.Rand
+	token       chan struct{} // returned to the scheduler when a process parks or exits
+	procs       int           // live (not yet exited) processes
+	parked      int           // processes currently parked
+	stopped     bool
+	running     bool
+	interrupt   func() bool // polled between events; true aborts the run
+	interrupted bool
+	label       func() string // optional diagnostics
 }
 
 // New returns a simulator whose random source is seeded with seed.
@@ -132,6 +134,30 @@ func (s *Sim) At(t Time, fn func()) *Event {
 // Stop makes Run return after the currently executing event completes.
 func (s *Sim) Stop() { s.stopped = true }
 
+// interruptPollInterval bounds how many events Run executes between
+// interrupt polls. The poll closure typically checks wall-clock state
+// (a context), so polling per event would dominate small event
+// callbacks; every 1024 events keeps the overhead unmeasurable while
+// still aborting within microseconds of wall time.
+const interruptPollInterval = 1024
+
+// SetInterrupt installs fn, polled between events while Run executes:
+// when it returns true the run aborts and Interrupted reports true
+// until the next SetInterrupt call. A nil fn clears the interrupt.
+// Drivers use it to abandon a simulation from wall-clock context (e.g.
+// context cancellation) without waiting for the event queue to drain.
+// An interrupted simulation is mid-flight — processes are parked and
+// events are pending — so its state must be discarded, not resumed.
+// SetInterrupt must be called from the goroutine that calls Run.
+func (s *Sim) SetInterrupt(fn func() bool) {
+	s.interrupt = fn
+	s.interrupted = false
+}
+
+// Interrupted reports whether the last Run aborted because the
+// installed interrupt fired.
+func (s *Sim) Interrupted() bool { return s.interrupted }
+
 // Run executes events in timestamp order until no events remain, the
 // horizon (if positive) is reached, or Stop is called. It returns the
 // virtual time at which the simulation ended.
@@ -145,7 +171,17 @@ func (s *Sim) Run(horizon time.Duration) Time {
 	}
 	s.running = true
 	defer func() { s.running = false }()
+	sincePoll := 0
 	for !s.stopped && len(s.events) > 0 {
+		if s.interrupt != nil {
+			if sincePoll++; sincePoll >= interruptPollInterval {
+				sincePoll = 0
+				if s.interrupt() {
+					s.interrupted = true
+					return s.now
+				}
+			}
+		}
 		ev := heap.Pop(&s.events).(*event)
 		if ev.canceled {
 			continue

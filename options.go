@@ -1,5 +1,12 @@
 package hgw
 
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
 // Option configures a Runner (and thus a Run call).
 type Option func(*settings)
 
@@ -40,6 +47,62 @@ func newSettings(opts []Option) settings {
 		s.shards = s.fleet
 	}
 	return s
+}
+
+// CacheKey returns a stable content address for a Run request: the
+// SHA-256 (hex) of the canonical form of everything the output is a
+// function of — the resolved experiment ids, seed, tags, normalized
+// probe options, parallelism, and the fleet/shard parameters. Because
+// Run output is a pure function of exactly these inputs, two requests
+// with equal keys render byte-identical results, which is what lets a
+// service answer repeated requests from cache (see internal/service and
+// DESIGN.md §8).
+//
+// Canonicalization matches Run's own request handling: ids are
+// trimmed, alias-resolved and deduplicated (tcp3 and tcp2 share a key),
+// an empty id list resolves to DefaultIDs — or FleetIDs when the
+// options request fleet mode — and zero probe-option fields take their
+// defaults (a zero Options and an explicit {Iterations: 5} share a
+// key). Order stays significant where Run makes it significant: both
+// the id list (lane assignment) and the tag list (testbed node order)
+// are hashed in request order. Unknown ids return an
+// *UnknownExperimentError, like Run.
+func CacheKey(ids []string, opts ...Option) (string, error) {
+	set := newSettings(opts)
+	if len(ids) == 0 {
+		if set.fleet > 0 {
+			ids = FleetIDs()
+		} else {
+			ids = DefaultIDs()
+		}
+	}
+	exps, err := resolveIDs(ids)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(set.canonical(exps)))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// canonical renders the settings and a resolved experiment list in the
+// stable textual form CacheKey hashes. Callback options (progress,
+// device results) are deliberately absent: they observe a run without
+// influencing its output.
+func (s settings) canonical(exps []*Experiment) string {
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	o := s.probeOpts.Normalized()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ids=%s\n", strings.Join(ids, ","))
+	fmt.Fprintf(&sb, "seed=%d\n", s.seed)
+	fmt.Fprintf(&sb, "tags=%s\n", strings.Join(s.tags, ","))
+	fmt.Fprintf(&sb, "opts=iters:%d,res:%d,maxudp:%d,maxtcp:%d,bytes:%d,verdict:%d\n",
+		o.Iterations, int64(o.Resolution), int64(o.MaxUDPTimeout),
+		int64(o.MaxTCPTimeout), o.TransferBytes, int64(o.Verdict))
+	fmt.Fprintf(&sb, "parallelism=%d\nfleet=%d\nshards=%d\n", s.parallelism, s.fleet, s.shards)
+	return sb.String()
 }
 
 // WithTags selects the gateways under test by their paper tag

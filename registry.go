@@ -3,6 +3,7 @@ package hgw
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -91,6 +92,52 @@ func DefaultIDs() []string {
 // and bindrate) can be requested explicitly in fleet mode.
 func FleetIDs() []string {
 	return []string{"udp1", "udp2", "udp3"}
+}
+
+// ExperimentInfo is the JSON-friendly registry metadata for one
+// experiment: the descriptor fields without the run functions. It is
+// the shape hgwd serves at GET /v1/experiments and hglist -json emits.
+type ExperimentInfo struct {
+	ID           string   `json:"id"`
+	Title        string   `json:"title"`
+	Unit         string   `json:"unit,omitempty"`
+	Ref          string   `json:"ref,omitempty"`
+	Note         string   `json:"note,omitempty"`
+	LogScale     bool     `json:"log_scale,omitempty"`
+	Standalone   bool     `json:"standalone,omitempty"`
+	ExplicitOnly bool     `json:"explicit_only,omitempty"`
+	FleetCapable bool     `json:"fleet_capable,omitempty"`
+	Aliases      []string `json:"aliases,omitempty"`
+}
+
+// RegistryInfo returns the registry metadata in registration order.
+func RegistryInfo() []ExperimentInfo {
+	regMu.RLock()
+	aliases := map[string][]string{}
+	for alias, canonical := range regAliases {
+		aliases[canonical] = append(aliases[canonical], alias)
+	}
+	regMu.RUnlock()
+	for _, as := range aliases {
+		sort.Strings(as)
+	}
+	exps := Registry()
+	out := make([]ExperimentInfo, len(exps))
+	for i, e := range exps {
+		out[i] = ExperimentInfo{
+			ID:           e.ID,
+			Title:        e.Title,
+			Unit:         e.Unit,
+			Ref:          e.Ref,
+			Note:         e.Note,
+			LogScale:     e.LogScale,
+			Standalone:   e.Standalone,
+			ExplicitOnly: e.ExplicitOnly,
+			FleetCapable: e.Sweep != nil,
+			Aliases:      aliases[e.ID],
+		}
+	}
+	return out
 }
 
 // Lookup resolves an id (or alias) to its experiment. Unknown ids

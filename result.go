@@ -3,6 +3,7 @@ package hgw
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -162,14 +163,10 @@ func (r *Result) IsTable2Component() bool {
 	return false
 }
 
-// Table2 assembles the paper's combined Table 2 from whichever of the
-// icmp, sctp, dccp and dns results are present in the collection,
-// followed by the population summary the paper's prose quotes. ok is
-// false when none of the four component experiments were run.
-func (rs Results) Table2() (text string, ok bool) {
-	var m []ICMPMatrix
-	var sctp, dccp []ConnResult
-	var dns []DNSResult
+// table2Components collects whichever of the icmp, sctp, dccp and dns
+// payloads are present in the collection. ok is false when none of the
+// four component experiments were run.
+func (rs Results) table2Components() (m []ICMPMatrix, sctp, dccp []ConnResult, dns []DNSResult, ok bool) {
 	for _, r := range rs {
 		if r == nil {
 			continue
@@ -188,10 +185,31 @@ func (rs Results) Table2() (text string, ok bool) {
 			dns, ok = p, true
 		}
 	}
+	return m, sctp, dccp, dns, ok
+}
+
+// Table2 assembles the paper's combined Table 2 from whichever of the
+// icmp, sctp, dccp and dns results are present in the collection,
+// followed by the population summary the paper's prose quotes. ok is
+// false when none of the four component experiments were run.
+func (rs Results) Table2() (text string, ok bool) {
+	m, sctp, dccp, dns, ok := rs.table2Components()
 	if !ok {
 		return "", false
 	}
 	return report.Table2(m, sctp, dccp, dns) + table2Summary(m, sctp, dccp, dns), true
+}
+
+// Table2CSV writes the combined Table 2 to w in machine-readable CSV:
+// a "tag" + column-name header, then one 0/1 row per device (the dot
+// matrix with dots as 1s). ok is false — and nothing is written — when
+// the collection holds none of the four component experiments.
+func (rs Results) Table2CSV(w io.Writer) (ok bool, err error) {
+	m, sctp, dccp, dns, ok := rs.table2Components()
+	if !ok {
+		return false, nil
+	}
+	return true, report.Table2CSV(w, m, sctp, dccp, dns)
 }
 
 // table2Summary renders the population counts quoted in §4.2-4.3.

@@ -28,6 +28,73 @@ type Progress struct {
 	Err  error
 }
 
+// ExperimentError attributes a run failure to a single experiment. It
+// unwraps to the underlying cause, so errors.Is sees sentinel errors
+// (context.Canceled, ErrNotFleetCapable) through it.
+type ExperimentError struct {
+	// ID is the registry id of the experiment that failed.
+	ID  string
+	Err error
+}
+
+func (e *ExperimentError) Error() string { return fmt.Sprintf("experiment %s: %v", e.ID, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ExperimentError) Unwrap() error { return e.Err }
+
+// RunError is the error Run returns when experiments fail: it carries
+// every failed experiment, not just the first one a lane encountered,
+// so callers can tell exactly which subset of a multi-experiment run
+// needs re-running. Failures preserve requested-id order.
+type RunError struct {
+	Failures []*ExperimentError
+}
+
+func (e *RunError) Error() string {
+	if len(e.Failures) == 1 {
+		return e.Failures[0].Error()
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d experiments failed:", len(e.Failures))
+	for _, f := range e.Failures {
+		fmt.Fprintf(&sb, "\n\t%s", f.Error())
+	}
+	return sb.String()
+}
+
+// IDs returns the failed experiment ids in requested order.
+func (e *RunError) IDs() []string {
+	out := make([]string, len(e.Failures))
+	for i, f := range e.Failures {
+		out[i] = f.ID
+	}
+	return out
+}
+
+// Unwrap exposes each failure to errors.Is/As traversal.
+func (e *RunError) Unwrap() []error {
+	out := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		out[i] = f
+	}
+	return out
+}
+
+// runError folds per-experiment failures into a *RunError (nil when
+// none failed). exps and errs are parallel slices.
+func runError(exps []*Experiment, errs []error) error {
+	var failures []*ExperimentError
+	for i, err := range errs {
+		if err != nil {
+			failures = append(failures, &ExperimentError{ID: exps[i].ID, Err: err})
+		}
+	}
+	if len(failures) == 0 {
+		return nil
+	}
+	return &RunError{Failures: failures}
+}
+
 // Runner schedules registry experiments over shared testbeds.
 //
 // Experiments that run on a shared testbed (all but the Standalone
@@ -68,9 +135,12 @@ func (r *Runner) TestbedsBuilt() int {
 // Run executes the experiments registered under ids (nil or empty runs
 // DefaultIDs) and returns their results in id order. Unknown ids fail
 // up front with an *UnknownExperimentError; duplicate and alias ids are
-// deduplicated. Run honors ctx between experiments: on cancellation the
-// remaining experiments are skipped and the context error is returned
-// alongside the results that did complete.
+// deduplicated. When experiments fail, Run returns a *RunError listing
+// every failed experiment id alongside the results that did complete.
+// Run honors ctx: between experiments cancellation skips the remainder,
+// and a cancelled in-flight probe is interrupted mid-simulation, so Run
+// returns promptly with the context error attributed to the interrupted
+// experiments.
 func Run(ctx context.Context, ids []string, opts ...Option) (Results, error) {
 	return NewRunner(opts...).Run(ctx, ids)
 }
@@ -111,12 +181,19 @@ func (r *Runner) Run(ctx context.Context, ids []string) (Results, error) {
 		defer func() { <-sem }()
 		defer func() {
 			if p := recover(); p != nil {
-				errs[i] = fmt.Errorf("experiment %s: panic: %v", exps[i].ID, p)
+				errs[i] = fmt.Errorf("panic: %v", p)
 				r.emit(Progress{ID: exps[i].ID, Index: i, Total: total, Done: true, Err: errs[i]})
 			}
 		}()
 		r.emit(Progress{ID: exps[i].ID, Index: i, Total: total})
 		res, err := exps[i].Run(ctx, env)
+		if err == nil {
+			// A cancelled context may have interrupted the probe
+			// mid-simulation; the (possibly partial) result is unusable.
+			if cerr := ctx.Err(); cerr != nil {
+				res, err = nil, cerr
+			}
+		}
 		slots[i], errs[i] = res, err
 		r.emit(Progress{ID: exps[i].ID, Index: i, Total: total, Done: true, Err: err})
 	}
@@ -148,6 +225,11 @@ func (r *Runner) Run(ctx context.Context, ids []string) (Results, error) {
 				if err == nil && tb == nil {
 					if tb, s, buildErr = r.newTestbed(); buildErr != nil {
 						err = buildErr
+					} else {
+						// The lane goroutine owns this simulator: poll ctx
+						// between events so cancellation interrupts a probe
+						// mid-run instead of waiting out the experiment.
+						s.SetInterrupt(func() bool { return ctx.Err() != nil })
 					}
 				}
 				if err != nil {
@@ -181,7 +263,7 @@ func (r *Runner) Run(ctx context.Context, ids []string) (Results, error) {
 			out = append(out, res)
 		}
 	}
-	return out, errors.Join(errs...)
+	return out, runError(exps, errs)
 }
 
 // resolveIDs looks up, trims and deduplicates a requested id list.
@@ -247,31 +329,45 @@ func (r *Runner) runFleet(ctx context.Context, ids []string) (Results, error) {
 
 	total := len(exps)
 	out := make(Results, 0, total)
-	var errs []error
+	errs := make([]error, total)
 	for i, e := range exps {
-		if err := ctx.Err(); err != nil {
-			errs = append(errs, err)
+		err := ctx.Err()
+		if err == nil {
+			// An earlier experiment abandoning the shards poisons the
+			// rest of the run too.
+			err = r.fleetErr
+		}
+		if err != nil {
+			errs[i] = err
 			r.emit(Progress{ID: e.ID, Index: i, Total: total, Done: true, Err: err})
 			continue
 		}
 		r.emit(Progress{ID: e.ID, Index: i, Total: total})
-		res, err := r.sweepFleet(e)
+		res, err := r.sweepFleet(ctx, e)
 		if err != nil {
-			errs = append(errs, err)
+			errs[i] = err
+			// Whether by cancellation or a shard panic, the shards were
+			// abandoned mid-sweep: their simulators hold parked
+			// processes and pending events, so reusing them would be
+			// nondeterministic. Poison this Runner's fleet; later runs
+			// must build a fresh Runner.
+			r.fleetErr = fmt.Errorf("fleet shards abandoned mid-sweep; use a new Runner: %w", err)
 		} else {
 			out = append(out, res)
 		}
 		r.emit(Progress{ID: e.ID, Index: i, Total: total, Done: true, Err: err})
 	}
-	return out, errors.Join(errs...)
+	return out, runError(exps, errs)
 }
 
 // sweepFleet fans one experiment's Sweep out across every shard and
 // merges the per-shard device results into one population Result.
 // Shards own independent simulators, so the fan-out is safely
 // concurrent; merge order is shard order, so equal-settings runs render
-// byte-identically regardless of shard completion order.
-func (r *Runner) sweepFleet(e *Experiment) (*Result, error) {
+// byte-identically regardless of shard completion order. Cancelling ctx
+// interrupts every shard's simulator mid-sweep; the partial shard
+// results are discarded and the context error is returned.
+func (r *Runner) sweepFleet(ctx context.Context, e *Experiment) (*Result, error) {
 	parts := make([][]DeviceResult, len(r.shards))
 	errs := make([]error, len(r.shards))
 	var wg sync.WaitGroup
@@ -282,15 +378,23 @@ func (r *Runner) sweepFleet(e *Experiment) (*Result, error) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					errs[sh.Index] = fmt.Errorf("experiment %s: shard %d: panic: %v", e.ID, sh.Index, p)
+					errs[sh.Index] = fmt.Errorf("shard %d: panic: %v", sh.Index, p)
 				}
 			}()
+			// This goroutine owns the shard's simulator for the sweep's
+			// duration; clear the interrupt afterwards so a later run's
+			// context does not leak into this one.
+			sh.Sim.SetInterrupt(func() bool { return ctx.Err() != nil })
+			defer sh.Sim.SetInterrupt(nil)
 			res := e.Sweep(&Env{
 				Seed:    r.set.seed + int64(sh.Index),
 				Options: r.set.probeOpts,
 				Testbed: sh.Testbed,
 				Sim:     sh.Sim,
 			})
+			if ctx.Err() != nil {
+				return // interrupted mid-sweep: res is incomplete
+			}
 			parts[sh.Index] = res
 			for _, dr := range res {
 				r.emitDevice(DeviceEvent{ExperimentID: e.ID, Shard: sh.Index, Result: dr})
@@ -298,6 +402,9 @@ func (r *Runner) sweepFleet(e *Experiment) (*Result, error) {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
