@@ -11,10 +11,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"hgw"
 )
@@ -30,7 +33,66 @@ var (
 	csvOut   = flag.Bool("csv", false, "emit Table 2 as CSV instead of the dot matrix")
 	fleet    = flag.Int("fleet", 0, "fleet mode: measure N synthetic devices instead of the 34-device inventory")
 	shards   = flag.Int("shards", 1, "partition the fleet across K concurrent sub-testbeds")
+
+	benchjson = flag.Bool("benchjson", false, "run each experiment as a benchmark and write a JSON trajectory file instead of rendering")
+	benchout  = flag.String("benchout", "BENCH_pr.json", "output path for the -benchjson trajectory file")
 )
+
+// benchEntry is one benchmark row of the -benchjson trajectory file.
+// The shape mirrors `go test -bench` output (name, ns/op, allocs/op)
+// plus the experiment's headline reproduction metrics, so CI can diff
+// trajectories across PRs.
+type benchEntry struct {
+	Name      string             `json:"name"`
+	NsPerOp   int64              `json:"ns_op"`
+	AllocsOp  uint64             `json:"allocs_op"`
+	BytesOp   uint64             `json:"bytes_op"`
+	Err       string             `json:"err,omitempty"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+	Timestamp string             `json:"timestamp"`
+}
+
+// runBenchJSON runs every experiment individually, measuring wall
+// clock and allocator traffic per run, and writes the trajectory file.
+func runBenchJSON(ids []string, opts []hgw.Option) error {
+	if len(ids) == 0 {
+		for _, e := range hgw.Registry() {
+			ids = append(ids, e.ID)
+		}
+	}
+	stamp := time.Now().UTC().Format(time.RFC3339)
+	entries := make([]benchEntry, 0, len(ids))
+	var before, after runtime.MemStats
+	for _, id := range ids {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		results, err := hgw.Run(context.Background(), []string{id}, opts...)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		e := benchEntry{
+			Name:      "hgbench/" + id,
+			NsPerOp:   elapsed.Nanoseconds(),
+			AllocsOp:  after.Mallocs - before.Mallocs,
+			BytesOp:   after.TotalAlloc - before.TotalAlloc,
+			Timestamp: stamp,
+		}
+		if err != nil {
+			e.Err = err.Error()
+		} else if len(results) > 0 && results[0].Figure != nil {
+			e.Metrics = map[string]float64{
+				"pop-median": results[0].Figure.Median,
+			}
+		}
+		entries = append(entries, e)
+		fmt.Fprintf(os.Stderr, "%-24s %12d ns/op %10d allocs/op\n", e.Name, e.NsPerOp, e.AllocsOp)
+	}
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*benchout, append(out, '\n'), 0o644)
+}
 
 func main() {
 	flag.Parse()
@@ -54,6 +116,14 @@ func main() {
 		// Fleet mode: synthetic population, sharded testbeds. With -exp
 		// unset the run covers hgw.FleetIDs (the UDP-1/2/3 sweeps).
 		opts = append(opts, hgw.WithFleet(*fleet), hgw.WithShards(*shards))
+	}
+
+	if *benchjson {
+		if err := runBenchJSON(ids, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "hgbench: benchjson:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	// Render whatever completed even when some experiments failed, then

@@ -284,10 +284,10 @@ func (s *Server) sendBroadcast(m *Message) {
 		ID:       s.cfg.If.Host.NextIPID(),
 		Payload:  u.Marshal(s.cfg.If.Addr, dst),
 	}
-	s.cfg.If.Link.Send(&netpkt.Frame{
-		Dst: netpkt.BroadcastMAC, Src: s.cfg.If.Link.MAC,
-		Type: netpkt.EtherTypeIPv4, Payload: ip.Marshal(),
-	})
+	f := netpkt.GetFrame()
+	f.Dst, f.Src = netpkt.BroadcastMAC, s.cfg.If.Link.MAC
+	f.Type, f.Payload = netpkt.EtherTypeIPv4, ip.MarshalPooled()
+	s.cfg.If.Link.Send(f)
 }
 
 func maskBytes(plen int) [4]byte {
@@ -368,10 +368,10 @@ func Acquire(p *sim.Proc, us *udp.Stack, ifc *stack.NetIf, cfg ClientConfig) (*L
 			Protocol: netpkt.ProtoUDP, Src: src, Dst: dst, TTL: 64,
 			ID: h.NextIPID(), Payload: u.Marshal(src, dst),
 		}
-		ifc.Link.Send(&netpkt.Frame{
-			Dst: netpkt.BroadcastMAC, Src: ifc.Link.MAC,
-			Type: netpkt.EtherTypeIPv4, Payload: ip.Marshal(),
-		})
+		f := netpkt.GetFrame()
+		f.Dst, f.Src = netpkt.BroadcastMAC, ifc.Link.MAC
+		f.Type, f.Payload = netpkt.EtherTypeIPv4, ip.MarshalPooled()
+		ifc.Link.Send(f)
 	}
 	recvType := func(want uint8) (*Message, bool) {
 		deadline := h.S.Now() + cfg.Timeout

@@ -274,9 +274,15 @@ type fwdQueue struct {
 	name   string
 	other  *fwdQueue
 	queue  []*netpkt.IPv4
+	qhead  int
 	queued int
 	busy   bool
 	drops  int
+
+	// current is the packet being serviced; serveDoneFn is its cached
+	// completion callback (one closure per queue, not per packet).
+	current     *netpkt.IPv4
+	serveDoneFn func()
 
 	// Sliding two-bucket load accounting, used to decide whether the
 	// opposite direction is under sustained load (bidirectional
@@ -328,7 +334,9 @@ func (q *fwdQueue) capacityBps() float64 {
 }
 
 func newFwdQueue(d *Device, name string) *fwdQueue {
-	return &fwdQueue{d: d, name: name}
+	q := &fwdQueue{d: d, name: name}
+	q.serveDoneFn = q.serveDone
+	return q
 }
 
 // rate returns the current service rate in bits/sec; 0 = wire speed.
@@ -389,24 +397,35 @@ func (q *fwdQueue) serve(ip *netpkt.IPv4) {
 		return
 	}
 	q.busy = true
+	q.current = ip
 	svc := time.Duration(float64(ip.TotalLen()*8) / rate * float64(time.Second))
 	if svc <= 0 {
 		svc = time.Nanosecond
 	}
-	q.d.S.After(svc, func() {
-		q.d.finishForward(q, ip)
-		q.busy = false
-		q.next()
-	})
+	q.d.S.After(svc, q.serveDoneFn)
+}
+
+func (q *fwdQueue) serveDone() {
+	ip := q.current
+	q.current = nil
+	q.d.finishForward(q, ip)
+	q.busy = false
+	q.next()
 }
 
 func (q *fwdQueue) next() {
-	if len(q.queue) == 0 {
+	if q.qhead == len(q.queue) {
+		q.queue = q.queue[:0]
+		q.qhead = 0
 		return
 	}
-	ip := q.queue[0]
-	q.queue[0] = nil
-	q.queue = q.queue[1:]
+	ip := q.queue[q.qhead]
+	q.queue[q.qhead] = nil
+	q.qhead++
+	if q.qhead == len(q.queue) {
+		q.queue = q.queue[:0]
+		q.qhead = 0
+	}
 	q.queued -= ip.TotalLen()
 	q.serve(ip)
 }

@@ -56,7 +56,11 @@ type Binding struct {
 	flow    flowKey
 	ext     uint16
 	created sim.Time
-	timer   *sim.Event
+	timer   sim.Event
+	// expireFn is the timer callback, built once per binding so that
+	// every packet-driven re-arm (the NAT hot path) schedules without
+	// allocating a fresh closure.
+	expireFn func()
 
 	// UDP refresh state.
 	sawInbound           bool
@@ -177,10 +181,8 @@ func (e *Engine) arm(b *Binding, timeout time.Duration) {
 // (wide quartiles in the paper's UDP-2 but not UDP-1), so fresh
 // outbound-only bindings use exact timers.
 func (e *Engine) armQ(b *Binding, timeout time.Duration, quantise bool) {
-	if b.timer != nil {
-		b.timer.Cancel()
-		b.timer = nil
-	}
+	b.timer.Cancel()
+	b.timer = sim.Event{}
 	if timeout <= 0 {
 		return
 	}
@@ -188,7 +190,7 @@ func (e *Engine) armQ(b *Binding, timeout time.Duration, quantise bool) {
 	if quantise {
 		deadline = e.quantise(deadline)
 	}
-	b.timer = e.s.At(deadline, func() { e.expire(b) })
+	b.timer = e.s.At(deadline, b.expireFn)
 }
 
 func (e *Engine) expire(b *Binding) {
@@ -202,9 +204,7 @@ func (e *Engine) expire(b *Binding) {
 }
 
 func (e *Engine) remove(b *Binding) {
-	if b.timer != nil {
-		b.timer.Cancel()
-	}
+	b.timer.Cancel()
 	delete(e.byFlow, b.flow)
 	delete(e.byExt, extKey{b.flow.proto, b.ext, b.flow.server, b.flow.sport})
 	pk := portKey{b.flow.proto, b.ext}
@@ -266,6 +266,7 @@ func (e *Engine) newBinding(flow flowKey) *Binding {
 		}
 	}
 	b := &Binding{flow: flow, ext: ext, created: e.s.Now()}
+	b.expireFn = func() { e.expire(b) }
 	e.byFlow[flow] = b
 	e.byExt[extKey{flow.proto, ext, flow.server, flow.sport}] = b
 	pk := portKey{flow.proto, ext}
@@ -356,10 +357,18 @@ func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
 			}
 		}
 		e.refreshUDP(b, false)
-		zeroCsum := binary.BigEndian.Uint16(ip.Payload[6:8]) == 0
+		// Rewrite the source port and adjust the checksum incrementally
+		// (RFC 1624) for the port and pseudo-header address changes —
+		// no re-summing of the payload.
+		sum := binary.BigEndian.Uint16(ip.Payload[6:8])
 		netpkt.SetUDPPorts(ip.Payload, b.ext, dport)
-		if !zeroCsum {
-			netpkt.FixUDPChecksum(ip.Payload, e.wan, ip.Dst)
+		if sum != 0 {
+			sum = netpkt.ChecksumAdjustU16(sum, sport, b.ext)
+			sum = netpkt.ChecksumAdjustAddr(sum, ip.Src, e.wan)
+			if sum == 0 {
+				sum = 0xffff // RFC 768: never transmit computed zero
+			}
+			binary.BigEndian.PutUint16(ip.Payload[6:8], sum)
 		}
 		ip.Src = e.wan
 		e.Translations++
@@ -390,8 +399,11 @@ func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
 			}
 		}
 		e.refreshTCP(b, flags, false)
+		sum := binary.BigEndian.Uint16(ip.Payload[16:18])
 		netpkt.SetTCPPorts(ip.Payload, b.ext, dport)
-		netpkt.FixTCPChecksum(ip.Payload, e.wan, ip.Dst)
+		sum = netpkt.ChecksumAdjustU16(sum, sport, b.ext)
+		sum = netpkt.ChecksumAdjustAddr(sum, ip.Src, e.wan)
+		binary.BigEndian.PutUint16(ip.Payload[16:18], sum)
 		ip.Src = e.wan
 		e.Translations++
 		return true
@@ -442,10 +454,15 @@ func (e *Engine) Inbound(ip *netpkt.IPv4) bool {
 			return false
 		}
 		e.refreshUDP(b, true)
-		zeroCsum := binary.BigEndian.Uint16(ip.Payload[6:8]) == 0
+		sum := binary.BigEndian.Uint16(ip.Payload[6:8])
 		netpkt.SetUDPPorts(ip.Payload, sport, b.flow.cport)
-		if !zeroCsum {
-			netpkt.FixUDPChecksum(ip.Payload, ip.Src, b.flow.client)
+		if sum != 0 {
+			sum = netpkt.ChecksumAdjustU16(sum, dport, b.flow.cport)
+			sum = netpkt.ChecksumAdjustAddr(sum, ip.Dst, b.flow.client)
+			if sum == 0 {
+				sum = 0xffff
+			}
+			binary.BigEndian.PutUint16(ip.Payload[6:8], sum)
 		}
 		ip.Dst = b.flow.client
 		e.Translations++
@@ -463,8 +480,11 @@ func (e *Engine) Inbound(ip *netpkt.IPv4) bool {
 			return false
 		}
 		e.refreshTCP(b, ip.Payload[13]&0x3f, true)
+		sum := binary.BigEndian.Uint16(ip.Payload[16:18])
 		netpkt.SetTCPPorts(ip.Payload, sport, b.flow.cport)
-		netpkt.FixTCPChecksum(ip.Payload, ip.Src, b.flow.client)
+		sum = netpkt.ChecksumAdjustU16(sum, dport, b.flow.cport)
+		sum = netpkt.ChecksumAdjustAddr(sum, ip.Dst, b.flow.client)
+		binary.BigEndian.PutUint16(ip.Payload[16:18], sum)
 		ip.Dst = b.flow.client
 		e.Translations++
 		return true

@@ -94,16 +94,36 @@ type Link struct {
 	ba   *pipe
 }
 
-// pipe is one direction of a link.
+// pipe is one direction of a link. Its transmit machinery is
+// deliberately closure-free: the two event callbacks (serialization
+// done, propagation done) are cached once per pipe, and the frames in
+// flight ride FIFO queues, so steady-state forwarding allocates
+// nothing per frame.
 type pipe struct {
-	s         *sim.Sim
-	cfg       LinkConfig
-	dst       *Iface
-	queue     []*netpkt.Frame
-	queued    int // bytes
-	busy      bool
+	s      *sim.Sim
+	cfg    LinkConfig
+	dst    *Iface
+	queue  []*netpkt.Frame // awaiting serialization
+	qhead  int
+	queued int // bytes in queue
+	busy   bool
+
+	txFrame *netpkt.Frame   // currently serializing
+	propq   []*netpkt.Frame // serialized, propagating (delivery FIFO)
+	proph   int
+
 	drops     int
 	delivered int
+
+	txDoneFn  func()
+	deliverFn func()
+}
+
+func newPipe(s *sim.Sim, cfg LinkConfig, dst *Iface) *pipe {
+	p := &pipe{s: s, cfg: cfg, dst: dst}
+	p.txDoneFn = p.txDone
+	p.deliverFn = p.deliverHead
+	return p
 }
 
 // Connect wires a and b together with the given configuration and
@@ -111,8 +131,8 @@ type pipe struct {
 func Connect(s *sim.Sim, a, b *Iface, cfg LinkConfig) *Link {
 	cfg = cfg.withDefaults()
 	l := &Link{s: s, cfg: cfg, a: a, b: b}
-	l.ab = &pipe{s: s, cfg: cfg, dst: b}
-	l.ba = &pipe{s: s, cfg: cfg, dst: a}
+	l.ab = newPipe(s, cfg, b)
+	l.ba = newPipe(s, cfg, a)
 	a.send = l.ab.send
 	b.send = l.ba.send
 	return l
@@ -137,6 +157,10 @@ func (p *pipe) send(f *netpkt.Frame) {
 			p.drops++
 			if DebugDrop != nil {
 				DebugDrop(f)
+			} else {
+				// Nobody saw the frame die: recycle it.
+				netpkt.PutBuf(f.Payload)
+				netpkt.PutFrame(f)
 			}
 			return
 		}
@@ -149,27 +173,59 @@ func (p *pipe) send(f *netpkt.Frame) {
 
 func (p *pipe) transmit(f *netpkt.Frame) {
 	p.busy = true
+	p.txFrame = f
 	txTime := time.Duration(float64(f.Len()*8) / p.cfg.Rate * float64(time.Second))
 	if txTime <= 0 {
 		txTime = time.Nanosecond
 	}
-	p.s.After(txTime, func() {
-		// Serialization finished: schedule delivery after propagation and
-		// start the next queued frame.
-		p.s.After(p.cfg.Delay, func() {
-			p.delivered++
-			p.dst.deliver(f)
-		})
-		if len(p.queue) > 0 {
-			next := p.queue[0]
-			p.queue[0] = nil
-			p.queue = p.queue[1:]
-			p.queued -= next.Len()
-			p.transmit(next)
-			return
-		}
-		p.busy = false
-	})
+	p.s.After(txTime, p.txDoneFn)
+}
+
+// txDone runs when the current frame's serialization finishes: the
+// frame starts propagating (deliveries are FIFO — each is scheduled at
+// a later-or-equal instant than the one before, and equal instants
+// fire in schedule order) and the next queued frame starts
+// serializing.
+func (p *pipe) txDone() {
+	f := p.txFrame
+	p.txFrame = nil
+	p.propq = append(p.propq, f)
+	p.s.After(p.cfg.Delay, p.deliverFn)
+	if next := p.popQueue(); next != nil {
+		p.queued -= next.Len()
+		p.transmit(next)
+		return
+	}
+	p.busy = false
+}
+
+// deliverHead hands the oldest propagating frame to the destination.
+func (p *pipe) deliverHead() {
+	f := p.propq[p.proph]
+	p.propq[p.proph] = nil
+	p.proph++
+	if p.proph == len(p.propq) {
+		p.propq = p.propq[:0]
+		p.proph = 0
+	}
+	p.delivered++
+	p.dst.deliver(f)
+}
+
+func (p *pipe) popQueue() *netpkt.Frame {
+	if p.qhead == len(p.queue) {
+		p.queue = p.queue[:0]
+		p.qhead = 0
+		return nil
+	}
+	f := p.queue[p.qhead]
+	p.queue[p.qhead] = nil
+	p.qhead++
+	if p.qhead == len(p.queue) {
+		p.queue = p.queue[:0]
+		p.qhead = 0
+	}
+	return f
 }
 
 // Switch is a VLAN-partitioned learning Ethernet switch. Each port has
@@ -220,12 +276,38 @@ func (sw *Switch) forward(in *Iface, f *netpkt.Frame) {
 		if out, ok := sw.table[fdbKey{vlan, f.Dst}]; ok {
 			if out != in {
 				out.Send(f)
+			} else {
+				// Destination learned on the ingress port (same-MAC
+				// quirk): the frame dies here unparsed.
+				netpkt.PutBuf(f.Payload)
+				netpkt.PutFrame(f)
 			}
 			return
 		}
 	}
-	for _, p := range sw.ports {
+	// Flood the VLAN. Only fan-out beyond one port needs copies: the
+	// last matching port gets the original frame (last, so that the
+	// per-port delivery order — and therefore the event sequence — is
+	// identical to the clone-everything behavior).
+	last := -1
+	for i, p := range sw.ports {
 		if p != in && p.VLAN == vlan {
+			last = i
+		}
+	}
+	if last < 0 {
+		// No member ports: the frame dies here.
+		netpkt.PutBuf(f.Payload)
+		netpkt.PutFrame(f)
+		return
+	}
+	for i, p := range sw.ports {
+		if p == in || p.VLAN != vlan {
+			continue
+		}
+		if i == last {
+			p.Send(f)
+		} else {
 			p.Send(f.Clone())
 		}
 	}

@@ -205,6 +205,64 @@ func TestSwitchVLANIsolation(t *testing.T) {
 	}
 }
 
+// TestSwitchCloneOnlyOnFanOut checks the forwarding fast path: a
+// learned unicast destination, and a flood reaching a single port,
+// must pass the original frame through without copying; only fan-out
+// beyond one port clones (content-identical copies on every port).
+func TestSwitchCloneOnlyOnFanOut(t *testing.T) {
+	s := sim.New(1)
+	sw := NewSwitch(s, "sw0")
+	plugF := func(mac byte) (*Iface, *[]*netpkt.Frame) {
+		h := &Iface{Name: "h", MAC: netpkt.MAC{2, 0, 0, 0, 0, mac}}
+		var got []*netpkt.Frame
+		rec := &got
+		h.Recv = func(f *netpkt.Frame) { *rec = append(*rec, f) }
+		Connect(s, h, sw.AddPort(1), LinkConfig{})
+		return h, rec
+	}
+	h1, _ := plugF(1)
+	h2, got2 := plugF(2)
+	_, got3 := plugF(3)
+
+	payload := []byte("fan-out-frame")
+	flood := &netpkt.Frame{Src: h1.MAC, Dst: h2.MAC, Type: netpkt.EtherTypeIPv4,
+		Payload: append([]byte(nil), payload...)}
+	s.After(0, func() { h1.Send(flood) })
+	s.Run(0)
+	if len(*got2) != 1 || len(*got3) != 1 {
+		t.Fatalf("flood delivered %d/%d frames, want 1/1", len(*got2), len(*got3))
+	}
+	// Fan-out 2: exactly one of the receivers got the original frame,
+	// the other a content-identical clone.
+	orig := 0
+	for _, f := range append(append([]*netpkt.Frame(nil), *got2...), *got3...) {
+		if string(f.Payload) != string(payload) {
+			t.Fatalf("flood copy corrupted: %q", f.Payload)
+		}
+		if f == flood {
+			orig++
+		}
+	}
+	if orig != 1 {
+		t.Fatalf("original frame delivered %d times, want exactly 1", orig)
+	}
+
+	// h2 replied nothing, but the switch learned h1 and h2 from the
+	// traffic above plus this reply; the subsequent unicast must be the
+	// very same frame object end to end (no clone).
+	reply := &netpkt.Frame{Src: h2.MAC, Dst: h1.MAC, Type: netpkt.EtherTypeIPv4}
+	s.After(0, func() { h2.Send(reply) })
+	s.Run(0)
+	uni := &netpkt.Frame{Src: h1.MAC, Dst: h2.MAC, Type: netpkt.EtherTypeIPv4,
+		Payload: append([]byte(nil), payload...)}
+	s.After(0, func() { h1.Send(uni) })
+	s.Run(0)
+	last := (*got2)[len(*got2)-1]
+	if last != uni {
+		t.Fatal("learned unicast was cloned; want the original frame passed through")
+	}
+}
+
 func TestDefaultLinkConfig(t *testing.T) {
 	cfg := LinkConfig{}.withDefaults()
 	if cfg.Rate != 100e6 || cfg.Delay <= 0 || cfg.QueueBytes <= 0 {

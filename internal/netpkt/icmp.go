@@ -59,8 +59,14 @@ func (ic *ICMP) IsError() bool {
 }
 
 // Marshal serializes the message with its checksum.
-func (ic *ICMP) Marshal() []byte {
-	b := make([]byte, 8+len(ic.Body))
+func (ic *ICMP) Marshal() []byte { return ic.AppendMarshal(nil) }
+
+// AppendMarshal serializes the message onto dst and returns the
+// extended slice. It is the allocation-free core of Marshal.
+func (ic *ICMP) AppendMarshal(dst []byte) []byte {
+	off := len(dst)
+	dst = growZero(dst, 8+len(ic.Body))
+	b := dst[off:]
 	b[0] = ic.Type
 	b[1] = ic.Code
 	binary.BigEndian.PutUint32(b[4:8], ic.Rest)
@@ -70,25 +76,47 @@ func (ic *ICMP) Marshal() []byte {
 		csum ^= 0x5555
 	}
 	binary.BigEndian.PutUint16(b[2:4], csum)
-	return b
+	return dst
+}
+
+// Clone returns a deep copy whose Body no longer aliases the parse
+// input.
+func (ic *ICMP) Clone() *ICMP {
+	cp := *ic
+	cp.Body = append([]byte(nil), ic.Body...)
+	return &cp
 }
 
 // ParseICMP decodes an ICMP message, verifying the checksum when verify
 // is true.
+//
+// The returned message's Body aliases b (see ParseIPv4 for the
+// ownership rules); Clone severs the aliasing.
 func ParseICMP(b []byte, verify bool) (*ICMP, error) {
-	if len(b) < 8 {
-		return nil, ErrShortPacket
+	ic := new(ICMP)
+	err := ic.Parse(b, verify)
+	if err != nil && err != ErrBadChecksum {
+		return nil, err
 	}
-	ic := &ICMP{
+	return ic, err
+}
+
+// Parse decodes b into ic, overwriting every field. It is the
+// allocation-free core of ParseICMP (aliasing semantics identical).
+func (ic *ICMP) Parse(b []byte, verify bool) error {
+	if len(b) < 8 {
+		return ErrShortPacket
+	}
+	*ic = ICMP{
 		Type: b[0],
 		Code: b[1],
 		Rest: binary.BigEndian.Uint32(b[4:8]),
-		Body: append([]byte(nil), b[8:]...),
+		Body: b[8:len(b):len(b)],
 	}
 	if verify && Checksum(b) != 0 {
-		return ic, ErrBadChecksum
+		return ErrBadChecksum
 	}
-	return ic, nil
+	return nil
 }
 
 // ICMPKind identifies one of the ICMP error classes measured in the

@@ -56,9 +56,20 @@ func (ip *IPv4) HeaderLen() int {
 func (ip *IPv4) TotalLen() int { return ip.HeaderLen() + len(ip.Payload) }
 
 // Marshal serializes the packet, computing the header checksum.
-func (ip *IPv4) Marshal() []byte {
+func (ip *IPv4) Marshal() []byte { return ip.AppendMarshal(nil) }
+
+// MarshalPooled serializes like Marshal but draws the buffer from the
+// packet-buffer pool (GetBuf). The caller owns the result; it may be
+// recycled with PutBuf once provably dead.
+func (ip *IPv4) MarshalPooled() []byte { return ip.AppendMarshal(GetBuf(ip.TotalLen())) }
+
+// AppendMarshal serializes the packet onto dst and returns the extended
+// slice. It is the allocation-free core of Marshal/MarshalPooled.
+func (ip *IPv4) AppendMarshal(dst []byte) []byte {
 	hl := ip.HeaderLen()
-	b := make([]byte, hl+len(ip.Payload))
+	off := len(dst)
+	dst = growZero(dst, hl+len(ip.Payload))
+	b := dst[off:]
 	b[0] = 0x40 | uint8(hl/4)
 	b[1] = ip.TOS
 	binary.BigEndian.PutUint16(b[2:4], uint16(ip.TotalLen()))
@@ -66,10 +77,10 @@ func (ip *IPv4) Marshal() []byte {
 	binary.BigEndian.PutUint16(b[6:8], uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
 	b[8] = ip.TTL
 	b[9] = ip.Protocol
-	src := ip.Src.As4()
-	dst := ip.Dst.As4()
-	copy(b[12:16], src[:])
-	copy(b[16:20], dst[:])
+	s4 := ip.Src.As4()
+	d4 := ip.Dst.As4()
+	copy(b[12:16], s4[:])
+	copy(b[16:20], d4[:])
 	copy(b[20:], ip.Options)
 	csum := Checksum(b[:hl])
 	if ip.BadChecksum {
@@ -77,29 +88,58 @@ func (ip *IPv4) Marshal() []byte {
 	}
 	binary.BigEndian.PutUint16(b[10:12], csum)
 	copy(b[hl:], ip.Payload)
-	return b
+	return dst
+}
+
+// Clone returns a deep copy whose Options and Payload no longer alias
+// the buffer the packet was parsed from. Code that retains a parsed
+// packet past the lifetime of its wire buffer must Clone it first.
+func (ip *IPv4) Clone() *IPv4 {
+	cp := *ip
+	cp.Options = append([]byte(nil), ip.Options...)
+	cp.Payload = append([]byte(nil), ip.Payload...)
+	return &cp
 }
 
 // ParseIPv4 decodes b into an IPv4 packet. The header checksum is
 // verified; ErrBadChecksum is returned (with a non-nil packet) when it
 // does not match, so middleboxes and endpoints can decide how strict to
 // be.
+//
+// The returned packet's Options and Payload alias b — the parse copies
+// nothing. The caller keeps ownership of b and must not recycle or
+// rewrite it while the parsed view is live; use Clone to sever the
+// aliasing at ownership boundaries.
 func ParseIPv4(b []byte) (*IPv4, error) {
+	ip := new(IPv4)
+	err := ip.Parse(b)
+	if err != nil && err != ErrBadChecksum {
+		return nil, err
+	}
+	return ip, err
+}
+
+// Parse decodes b into ip, overwriting every field. It is the
+// allocation-free core of ParseIPv4: callers on hot paths reuse one
+// IPv4 value across packets. Aliasing semantics match ParseIPv4. On a
+// hard error (not ErrBadChecksum) the receiver's contents are
+// unspecified.
+func (ip *IPv4) Parse(b []byte) error {
 	if len(b) < 20 {
-		return nil, ErrShortPacket
+		return ErrShortPacket
 	}
 	if b[0]>>4 != 4 {
-		return nil, fmt.Errorf("netpkt: not IPv4 (version %d)", b[0]>>4)
+		return fmt.Errorf("netpkt: not IPv4 (version %d)", b[0]>>4)
 	}
 	hl := int(b[0]&0x0f) * 4
 	if hl < 20 || len(b) < hl {
-		return nil, ErrShortPacket
+		return ErrShortPacket
 	}
 	total := int(binary.BigEndian.Uint16(b[2:4]))
 	if total < hl || total > len(b) {
-		return nil, ErrShortPacket
+		return ErrShortPacket
 	}
-	ip := &IPv4{
+	*ip = IPv4{
 		TOS:      b[1],
 		ID:       binary.BigEndian.Uint16(b[4:6]),
 		Flags:    uint8(binary.BigEndian.Uint16(b[6:8]) >> 13),
@@ -110,13 +150,13 @@ func ParseIPv4(b []byte) (*IPv4, error) {
 		Dst:      netip.AddrFrom4([4]byte(b[16:20])),
 	}
 	if hl > 20 {
-		ip.Options = append([]byte(nil), b[20:hl]...)
+		ip.Options = b[20:hl:hl]
 	}
-	ip.Payload = append([]byte(nil), b[hl:total]...)
+	ip.Payload = b[hl:total:total]
 	if Checksum(b[:hl]) != 0 {
-		return ip, ErrBadChecksum
+		return ErrBadChecksum
 	}
-	return ip, nil
+	return nil
 }
 
 // RecordRouteOption builds a Record Route option with room for n hops.
@@ -210,8 +250,14 @@ type ARP struct {
 }
 
 // Marshal serializes the ARP message.
-func (a *ARP) Marshal() []byte {
-	b := make([]byte, 28)
+func (a *ARP) Marshal() []byte { return a.AppendMarshal(nil) }
+
+// AppendMarshal serializes the ARP message onto dst and returns the
+// extended slice.
+func (a *ARP) AppendMarshal(dst []byte) []byte {
+	off := len(dst)
+	dst = growZero(dst, 28)
+	b := dst[off:]
 	binary.BigEndian.PutUint16(b[0:2], 1)      // hardware: Ethernet
 	binary.BigEndian.PutUint16(b[2:4], 0x0800) // protocol: IPv4
 	b[4] = 6
@@ -223,7 +269,7 @@ func (a *ARP) Marshal() []byte {
 	copy(b[18:24], a.TargetMAC[:])
 	t4 := a.TargetIP.As4()
 	copy(b[24:28], t4[:])
-	return b
+	return dst
 }
 
 // ParseARP decodes an ARP message.
@@ -264,7 +310,7 @@ func ParseIPv4Lenient(b []byte) (*IPv4, error) {
 			// computed over the original Total Length.
 			orig, err2 := parseHeaderOnly(b)
 			if orig != nil {
-				orig.Payload = append([]byte(nil), b[hl:]...)
+				orig.Payload = b[hl:len(b):len(b)]
 			}
 			return orig, err2
 		}
@@ -287,7 +333,7 @@ func parseHeaderOnly(b []byte) (*IPv4, error) {
 		Dst:      netip.AddrFrom4([4]byte(b[16:20])),
 	}
 	if hl > 20 {
-		ip.Options = append([]byte(nil), b[20:hl]...)
+		ip.Options = b[20:hl:hl]
 	}
 	if Checksum(b[:hl]) != 0 {
 		return ip, ErrBadChecksum

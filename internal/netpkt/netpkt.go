@@ -90,47 +90,58 @@ func (f *Frame) Len() int {
 	return n
 }
 
-// Clone returns a deep copy of the frame.
+// Clone returns a deep copy of the frame. Both the struct and the
+// payload copy are drawn from the packet pools: broadcast fan-out
+// clones are the pools' main consumer, and uninterested receivers
+// recycle them on arrival.
 func (f *Frame) Clone() *Frame {
-	g := *f
-	g.Payload = append([]byte(nil), f.Payload...)
-	return &g
+	g := GetFrame()
+	*g = *f
+	g.Payload = append(GetBuf(len(f.Payload)), f.Payload...)
+	return g
+}
+
+// checksumAdd folds the bytes of b into a running 32-bit one's-
+// complement accumulator (an odd trailing byte is padded with zero).
+func checksumAdd(sum uint32, b []byte) uint32 {
+	i := 0
+	for ; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if i < len(b) {
+		sum += uint32(b[i]) << 8
+	}
+	return sum
+}
+
+// checksumFold reduces a 32-bit accumulator to 16 bits with end-around
+// carry.
+func checksumFold(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return uint16(sum)
 }
 
 // Checksum computes the RFC 1071 internet checksum over b.
 func Checksum(b []byte) uint16 {
-	var sum uint32
-	for i := 0; i+1 < len(b); i += 2 {
-		sum += uint32(binary.BigEndian.Uint16(b[i:]))
-	}
-	if len(b)%2 == 1 {
-		sum += uint32(b[len(b)-1]) << 8
-	}
-	for sum>>16 != 0 {
-		sum = (sum & 0xffff) + sum>>16
-	}
-	return ^uint16(sum)
-}
-
-// pseudoHeader builds the IPv4 pseudo-header used by UDP, TCP and DCCP
-// checksums.
-func pseudoHeader(src, dst netip.Addr, proto uint8, length int) []byte {
-	ph := make([]byte, 12)
-	s4 := src.As4()
-	d4 := dst.As4()
-	copy(ph[0:4], s4[:])
-	copy(ph[4:8], d4[:])
-	ph[9] = proto
-	binary.BigEndian.PutUint16(ph[10:12], uint16(length))
-	return ph
+	return ^checksumFold(checksumAdd(0, b))
 }
 
 // TransportChecksum computes the internet checksum of a transport
 // segment including the IPv4 pseudo-header. The segment's checksum field
-// must be zeroed by the caller.
+// must be zeroed by the caller. The pseudo-header is folded into the
+// accumulator arithmetically; no intermediate buffer is built.
 func TransportChecksum(src, dst netip.Addr, proto uint8, segment []byte) uint16 {
-	buf := append(pseudoHeader(src, dst, proto, len(segment)), segment...)
-	return Checksum(buf)
+	s4 := src.As4()
+	d4 := dst.As4()
+	sum := uint32(binary.BigEndian.Uint16(s4[0:2])) +
+		uint32(binary.BigEndian.Uint16(s4[2:4])) +
+		uint32(binary.BigEndian.Uint16(d4[0:2])) +
+		uint32(binary.BigEndian.Uint16(d4[2:4])) +
+		uint32(proto) +
+		uint32(uint16(len(segment)))
+	return ^checksumFold(checksumAdd(sum, segment))
 }
 
 // Addr4 builds a netip.Addr from four octets. It is a test and
@@ -148,8 +159,22 @@ func ChecksumAdjust(sum uint16, old, new []byte) uint16 {
 		acc += uint32(^binary.BigEndian.Uint16(old[i:]))
 		acc += uint32(binary.BigEndian.Uint16(new[i:]))
 	}
-	for acc>>16 != 0 {
-		acc = (acc & 0xffff) + acc>>16
-	}
-	return ^uint16(acc)
+	return ^checksumFold(acc)
+}
+
+// ChecksumAdjustU16 is ChecksumAdjust for a single 16-bit field (a port
+// or an ICMP query ID), avoiding byte-slice staging entirely.
+func ChecksumAdjustU16(sum uint16, old, new uint16) uint16 {
+	return ^checksumFold(uint32(^sum) + uint32(^old) + uint32(new))
+}
+
+// ChecksumAdjustAddr is ChecksumAdjust for an IPv4 address covered by
+// the checksum (directly, or via a transport pseudo-header).
+func ChecksumAdjustAddr(sum uint16, old, new netip.Addr) uint16 {
+	o4 := old.As4()
+	n4 := new.As4()
+	acc := uint32(^sum) +
+		uint32(^binary.BigEndian.Uint16(o4[0:2])) + uint32(binary.BigEndian.Uint16(n4[0:2])) +
+		uint32(^binary.BigEndian.Uint16(o4[2:4])) + uint32(binary.BigEndian.Uint16(n4[2:4]))
+	return ^checksumFold(acc)
 }

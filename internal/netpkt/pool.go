@@ -1,0 +1,91 @@
+package netpkt
+
+import "sync"
+
+// Packet-buffer pooling. Marshal runs for every hop of every packet, so
+// the simulation's steady-state garbage is dominated by wire buffers.
+// GetBuf/PutBuf recycle fixed-capacity buffers through a sync.Pool; the
+// marshal paths draw from it via MarshalPooled, and the stack/netem
+// layers return buffers at the few points where a frame provably dies
+// unparsed (see DESIGN.md §9 for the ownership rules).
+//
+// Only whole pool-class buffers are ever recycled: PutBuf ignores
+// buffers of any other capacity, so handing it an aliased sub-slice
+// (e.g. a parsed payload view, whose capacity is clipped by the parse)
+// is harmless rather than corrupting.
+
+// Two pool size classes: most testbed traffic (ARP, DHCP, DNS, probe
+// datagrams, bare ACKs) fits the small class, so a pool miss — buffers
+// retained by parsed views never come back — costs bytes proportional
+// to the packet, while full-MSS TCP segments use the large class
+// (Ethernet MTU plus headers). Larger requests fall back to the
+// ordinary allocator.
+const (
+	bufCapSmall = 256
+	bufCapLarge = 2048
+)
+
+var (
+	bufPoolSmall = sync.Pool{New: func() any { return new([bufCapSmall]byte) }}
+	bufPoolLarge = sync.Pool{New: func() any { return new([bufCapLarge]byte) }}
+)
+
+// GetBuf returns an empty buffer with capacity at least n. The contents
+// beyond len are unspecified; callers must write every byte they expose.
+func GetBuf(n int) []byte {
+	switch {
+	case n <= bufCapSmall:
+		return bufPoolSmall.Get().(*[bufCapSmall]byte)[:0]
+	case n <= bufCapLarge:
+		return bufPoolLarge.Get().(*[bufCapLarge]byte)[:0]
+	default:
+		return make([]byte, 0, n)
+	}
+}
+
+// PutBuf recycles a buffer previously returned by GetBuf. The caller
+// must guarantee no other reference to the buffer remains — including
+// parsed views aliasing it. Buffers that did not come from the pool
+// (wrong capacity, e.g. an aliased sub-slice whose capacity the parse
+// clipped) are ignored rather than corrupting the pool.
+func PutBuf(b []byte) {
+	switch cap(b) {
+	case bufCapSmall:
+		bufPoolSmall.Put((*[bufCapSmall]byte)(b[:bufCapSmall:bufCapSmall]))
+	case bufCapLarge:
+		bufPoolLarge.Put((*[bufCapLarge]byte)(b[:bufCapLarge:bufCapLarge]))
+	}
+}
+
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// GetFrame returns a zeroed Frame from the frame pool. Senders build
+// outgoing frames in pooled structs; the receiving host recycles the
+// struct (not the payload, which parsed views may alias) once frame
+// processing ends.
+func GetFrame() *Frame {
+	return framePool.Get().(*Frame)
+}
+
+// PutFrame recycles a frame struct. The caller must guarantee no other
+// reference to the struct remains; the payload buffer is NOT recycled
+// (use PutBuf separately when it too is provably dead).
+func PutFrame(f *Frame) {
+	*f = Frame{}
+	framePool.Put(f)
+}
+
+// growZero extends b by n zeroed bytes, reusing capacity when it can.
+// Zeroing matters for pooled buffers: option padding and similar gaps
+// must not leak a previous packet's bytes.
+func growZero(b []byte, n int) []byte {
+	l := len(b)
+	if cap(b)-l >= n {
+		b = b[:l+n]
+		clear(b[l:])
+		return b
+	}
+	nb := make([]byte, l+n)
+	copy(nb, b)
+	return nb
+}

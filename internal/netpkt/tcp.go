@@ -34,33 +34,64 @@ func (t *TCP) HeaderLen() int { return 20 + (len(t.Options)+3)&^3 }
 
 // Marshal serializes the segment with a checksum over the pseudo-header.
 func (t *TCP) Marshal(src, dst netip.Addr) []byte {
+	return t.AppendMarshal(nil, src, dst)
+}
+
+// AppendMarshal serializes the segment onto b and returns the extended
+// slice. It is the allocation-free core of Marshal.
+func (t *TCP) AppendMarshal(b []byte, src, dst netip.Addr) []byte {
 	hl := t.HeaderLen()
-	b := make([]byte, hl+len(t.Payload))
-	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
-	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
-	binary.BigEndian.PutUint32(b[4:8], t.Seq)
-	binary.BigEndian.PutUint32(b[8:12], t.Ack)
-	b[12] = uint8(hl/4) << 4
-	b[13] = t.Flags
-	binary.BigEndian.PutUint16(b[14:16], t.Window)
-	binary.BigEndian.PutUint16(b[18:20], t.Urgent)
-	copy(b[20:], t.Options)
-	copy(b[hl:], t.Payload)
-	binary.BigEndian.PutUint16(b[16:18], TransportChecksum(src, dst, ProtoTCP, b))
+	off := len(b)
+	b = growZero(b, hl+len(t.Payload))
+	w := b[off:]
+	binary.BigEndian.PutUint16(w[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(w[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(w[4:8], t.Seq)
+	binary.BigEndian.PutUint32(w[8:12], t.Ack)
+	w[12] = uint8(hl/4) << 4
+	w[13] = t.Flags
+	binary.BigEndian.PutUint16(w[14:16], t.Window)
+	binary.BigEndian.PutUint16(w[18:20], t.Urgent)
+	copy(w[20:], t.Options)
+	copy(w[hl:], t.Payload)
+	binary.BigEndian.PutUint16(w[16:18], TransportChecksum(src, dst, ProtoTCP, w))
 	return b
+}
+
+// Clone returns a deep copy whose Options and Payload no longer alias
+// the parse input.
+func (t *TCP) Clone() *TCP {
+	cp := *t
+	cp.Options = append([]byte(nil), t.Options...)
+	cp.Payload = append([]byte(nil), t.Payload...)
+	return &cp
 }
 
 // ParseTCP decodes a TCP segment, verifying the checksum when verify is
 // true.
+//
+// The returned segment's Options and Payload alias b (see ParseIPv4 for
+// the ownership rules); Clone severs the aliasing.
 func ParseTCP(b []byte, src, dst netip.Addr, verify bool) (*TCP, error) {
+	t := new(TCP)
+	err := t.Parse(b, src, dst, verify)
+	if err != nil && err != ErrBadChecksum {
+		return nil, err
+	}
+	return t, err
+}
+
+// Parse decodes b into t, overwriting every field. It is the
+// allocation-free core of ParseTCP (aliasing semantics identical).
+func (t *TCP) Parse(b []byte, src, dst netip.Addr, verify bool) error {
 	if len(b) < 20 {
-		return nil, ErrShortPacket
+		return ErrShortPacket
 	}
 	hl := int(b[12]>>4) * 4
 	if hl < 20 || hl > len(b) {
-		return nil, ErrShortPacket
+		return ErrShortPacket
 	}
-	t := &TCP{
+	*t = TCP{
 		SrcPort: binary.BigEndian.Uint16(b[0:2]),
 		DstPort: binary.BigEndian.Uint16(b[2:4]),
 		Seq:     binary.BigEndian.Uint32(b[4:8]),
@@ -68,15 +99,15 @@ func ParseTCP(b []byte, src, dst netip.Addr, verify bool) (*TCP, error) {
 		Flags:   b[13] & 0x3f,
 		Window:  binary.BigEndian.Uint16(b[14:16]),
 		Urgent:  binary.BigEndian.Uint16(b[18:20]),
-		Payload: append([]byte(nil), b[hl:]...),
+		Payload: b[hl:len(b):len(b)],
 	}
 	if hl > 20 {
-		t.Options = append([]byte(nil), b[20:hl]...)
+		t.Options = b[20:hl:hl]
 	}
 	if verify && TransportChecksum(src, dst, ProtoTCP, b) != 0 {
-		return t, ErrBadChecksum
+		return ErrBadChecksum
 	}
-	return t, nil
+	return nil
 }
 
 // FlagString renders TCP flags like "SYN|ACK".

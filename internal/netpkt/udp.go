@@ -15,41 +15,71 @@ type UDP struct {
 // Marshal serializes the datagram with a checksum computed over the
 // pseudo-header for src/dst.
 func (u *UDP) Marshal(src, dst netip.Addr) []byte {
-	b := make([]byte, 8+len(u.Payload))
-	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
-	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
-	binary.BigEndian.PutUint16(b[4:6], uint16(len(b)))
-	copy(b[8:], u.Payload)
-	csum := TransportChecksum(src, dst, ProtoUDP, b)
+	return u.AppendMarshal(nil, src, dst)
+}
+
+// AppendMarshal serializes the datagram onto b and returns the extended
+// slice. It is the allocation-free core of Marshal.
+func (u *UDP) AppendMarshal(b []byte, src, dst netip.Addr) []byte {
+	off := len(b)
+	b = growZero(b, 8+len(u.Payload))
+	w := b[off:]
+	binary.BigEndian.PutUint16(w[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(w[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(w[4:6], uint16(len(w)))
+	copy(w[8:], u.Payload)
+	csum := TransportChecksum(src, dst, ProtoUDP, w)
 	if csum == 0 {
 		csum = 0xffff // RFC 768: transmitted all-ones when computed zero
 	}
-	binary.BigEndian.PutUint16(b[6:8], csum)
+	binary.BigEndian.PutUint16(w[6:8], csum)
 	return b
+}
+
+// Clone returns a deep copy whose Payload no longer aliases the parse
+// input.
+func (u *UDP) Clone() *UDP {
+	cp := *u
+	cp.Payload = append([]byte(nil), u.Payload...)
+	return &cp
 }
 
 // ParseUDP decodes a UDP datagram. When verify is true the checksum is
 // validated against the given pseudo-header addresses; a zero checksum
 // field means "no checksum" per RFC 768 and always verifies.
+//
+// The returned datagram's Payload aliases b (see ParseIPv4 for the
+// ownership rules); Clone severs the aliasing.
 func ParseUDP(b []byte, src, dst netip.Addr, verify bool) (*UDP, error) {
+	u := new(UDP)
+	err := u.Parse(b, src, dst, verify)
+	if err != nil && err != ErrBadChecksum {
+		return nil, err
+	}
+	return u, err
+}
+
+// Parse decodes b into u, overwriting every field. It is the
+// allocation-free core of ParseUDP (aliasing semantics identical).
+func (u *UDP) Parse(b []byte, src, dst netip.Addr, verify bool) error {
 	if len(b) < 8 {
-		return nil, ErrShortPacket
+		return ErrShortPacket
 	}
 	length := int(binary.BigEndian.Uint16(b[4:6]))
 	if length < 8 || length > len(b) {
-		return nil, ErrShortPacket
+		return ErrShortPacket
 	}
-	u := &UDP{
+	*u = UDP{
 		SrcPort: binary.BigEndian.Uint16(b[0:2]),
 		DstPort: binary.BigEndian.Uint16(b[2:4]),
-		Payload: append([]byte(nil), b[8:length]...),
+		Payload: b[8:length:length],
 	}
 	if verify && binary.BigEndian.Uint16(b[6:8]) != 0 {
 		if TransportChecksum(src, dst, ProtoUDP, b[:length]) != 0 {
-			return u, ErrBadChecksum
+			return ErrBadChecksum
 		}
 	}
-	return u, nil
+	return nil
 }
 
 // UDPPorts extracts source and destination ports without a full parse.

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAllocsEventChurn pins the steady-state allocation count of the
+// event queue: once the slab has warmed up, schedule/fire and
+// schedule/cancel cycles must not allocate at all. A regression here
+// multiplies into every packet of every experiment, so the pin is
+// exact zero.
+func TestAllocsEventChurn(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	// Warm the slab so growth is excluded from the measurement.
+	for j := 0; j < 256; j++ {
+		s.After(time.Duration(j)*time.Microsecond, fn)
+	}
+	s.Run(0)
+
+	if n := testing.AllocsPerRun(100, func() {
+		for j := 0; j < 64; j++ {
+			s.After(time.Duration(j)*time.Microsecond, fn)
+		}
+		s.Run(0)
+	}); n != 0 {
+		t.Fatalf("schedule/fire churn allocates %.1f objects per run, want 0", n)
+	}
+
+	if n := testing.AllocsPerRun(100, func() {
+		for j := 0; j < 64; j++ {
+			ev := s.After(time.Duration(j+1)*time.Second, fn)
+			ev.Cancel()
+		}
+		s.Run(0)
+	}); n != 0 {
+		t.Fatalf("schedule/cancel churn allocates %.1f objects per run, want 0", n)
+	}
+}
+
+// TestStaleHandleCancel checks the generation counter: after an event
+// fires, its slab slot is recycled, and a Cancel through the stale
+// handle must not touch the slot's next occupant.
+func TestStaleHandleCancel(t *testing.T) {
+	s := New(1)
+	fired1 := false
+	ev1 := s.After(time.Second, func() { fired1 = true })
+	s.Run(0)
+	if !fired1 {
+		t.Fatal("first event did not fire")
+	}
+
+	// The recycled slot is reused for the next event.
+	fired2 := false
+	s.After(time.Second, func() { fired2 = true })
+	ev1.Cancel() // stale: must be a no-op
+	if ev1.Canceled() {
+		t.Fatal("stale handle reports Canceled after recycling")
+	}
+	s.Run(0)
+	if !fired2 {
+		t.Fatal("stale Cancel killed an unrelated event")
+	}
+}
+
+// TestCancelCompaction drives the canceled fraction of the queue high
+// enough to trigger compaction and checks that the survivors still
+// fire in timestamp order.
+func TestCancelCompaction(t *testing.T) {
+	s := New(1)
+	var order []int
+	var events []Event
+	const n = 1024
+	for i := 0; i < n; i++ {
+		i := i
+		events = append(events, s.After(time.Duration(i)*time.Millisecond, func() {
+			order = append(order, i)
+		}))
+	}
+	// Cancel everything except every 64th event; this exceeds the
+	// compaction threshold many times over.
+	want := 0
+	for i := range events {
+		if i%64 == 0 {
+			want++
+			continue
+		}
+		events[i].Cancel()
+	}
+	if got := s.Pending(); got != want {
+		t.Fatalf("Pending = %d, want %d", got, want)
+	}
+	s.Run(0)
+	if len(order) != want {
+		t.Fatalf("fired %d events, want %d", len(order), want)
+	}
+	for j := 1; j < len(order); j++ {
+		if order[j] <= order[j-1] {
+			t.Fatalf("events fired out of order: %v", order)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d", s.Pending())
+	}
+}
+
+// TestPendingO1Semantics checks the live counter across the full event
+// life cycle, including double cancels and cancel-after-fire.
+func TestPendingO1Semantics(t *testing.T) {
+	s := New(1)
+	e1 := s.After(time.Second, func() {})
+	e2 := s.After(2*time.Second, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	e1.Cancel()
+	e1.Cancel() // double cancel must not double-decrement
+	if s.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", s.Pending())
+	}
+	s.Run(0)
+	e2.Cancel() // cancel after fire must not underflow
+	if s.Pending() != 0 {
+		t.Fatalf("Pending after run = %d, want 0", s.Pending())
+	}
+}
+
+// TestHorizonLeavesFutureEvents re-checks Run's horizon contract on the
+// slab queue: an event beyond the horizon stays queued (and Pending)
+// for a later Run call.
+func TestHorizonLeavesFutureEvents(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.After(time.Second, func() { fired++ })
+	s.After(time.Minute, func() { fired++ })
+	s.Run(10 * time.Second)
+	if fired != 1 || s.Pending() != 1 {
+		t.Fatalf("fired=%d pending=%d after horizon", fired, s.Pending())
+	}
+	s.Run(0)
+	if fired != 2 || s.Pending() != 0 {
+		t.Fatalf("fired=%d pending=%d after drain", fired, s.Pending())
+	}
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventChurn is the simulator's hot loop in isolation: schedule
+// a batch of events, fire them all, repeat. Every packet hop in the
+// testbed is a handful of these operations, so allocs/op here multiply
+// into every figure regeneration.
+func BenchmarkEventChurn(b *testing.B) {
+	s := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			s.After(time.Duration(j)*time.Microsecond, fn)
+		}
+		s.Run(0)
+	}
+}
+
+// BenchmarkScheduleCancel measures the schedule-then-cancel pattern of
+// NAT binding timers and TCP retransmission timers: most armed timers
+// never fire because traffic refreshes them first.
+func BenchmarkScheduleCancel(b *testing.B) {
+	s := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			ev := s.After(time.Duration(j+1)*time.Second, fn)
+			ev.Cancel()
+		}
+		// Drain the canceled records so the queue stays in steady state.
+		s.Run(0)
+	}
+}
+
+// BenchmarkTimerRefresh is the worst-case NAT pattern: a long-lived
+// binding whose timer is re-armed (cancel + schedule) on every packet
+// while other events fire around it.
+func BenchmarkTimerRefresh(b *testing.B) {
+	s := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		timer := s.After(time.Hour, fn)
+		for j := 0; j < 32; j++ {
+			s.After(time.Duration(j)*time.Microsecond, fn)
+			timer.Cancel()
+			timer = s.After(time.Hour, fn)
+		}
+		timer.Cancel()
+		s.Run(0)
+	}
+}

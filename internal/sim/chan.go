@@ -18,7 +18,7 @@ type chanWaiter[T any] struct {
 	val      T
 	ok       bool
 	resolved bool
-	timeout  *Event
+	timeout  Event
 }
 
 // NewChan returns an empty channel bound to s.
@@ -43,9 +43,7 @@ func (c *Chan[T]) Send(v T) {
 			continue
 		}
 		w.val, w.ok, w.resolved = v, true, true
-		if w.timeout != nil {
-			w.timeout.Cancel()
-		}
+		w.timeout.Cancel()
 		w.p.scheduleWake()
 		return
 	}
@@ -64,9 +62,7 @@ func (c *Chan[T]) Close() {
 			continue
 		}
 		w.resolved = true
-		if w.timeout != nil {
-			w.timeout.Cancel()
-		}
+		w.timeout.Cancel()
 		w.p.scheduleWake()
 	}
 	c.waiters = nil

@@ -16,7 +16,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -26,56 +25,60 @@ import (
 // as the duration since the start of the simulation.
 type Time = time.Duration
 
-// event is a scheduled callback.
-type event struct {
+// eventRec is one slab slot of the event queue. Slots are recycled
+// through a free list; gen distinguishes the current occupant from
+// stale Event handles that still point at the slot.
+type eventRec struct {
 	at       Time
 	seq      uint64 // tie-breaker: FIFO among equal timestamps
 	fn       func()
+	gen      uint32
 	canceled bool
-	index    int // heap index, -1 if popped
 }
 
-// Event is a handle to a scheduled callback that can be canceled.
-type Event struct{ ev *event }
+// Event is a handle to a scheduled callback that can be canceled. The
+// zero value is an invalid handle on which Cancel and Canceled are
+// no-ops. Handles stay valid (as no-ops) after the event fires: slab
+// slots are recycled under a generation counter, so a stale handle can
+// never cancel an unrelated later event.
+type Event struct {
+	s        *Sim
+	idx      int32
+	gen      uint32
+	canceled bool // Cancel was called through this handle
+}
 
 // Cancel prevents the event's callback from running. Canceling an event
 // that already fired (or was already canceled) is a no-op.
 func (e *Event) Cancel() {
-	if e != nil && e.ev != nil {
-		e.ev.canceled = true
+	if e == nil || e.s == nil {
+		return
 	}
+	rec := &e.s.slab[e.idx]
+	if rec.gen != e.gen {
+		return // already fired and recycled
+	}
+	e.canceled = true
+	if rec.canceled {
+		return
+	}
+	rec.canceled = true
+	rec.fn = nil // release the closure now; the slot drains lazily
+	e.s.live--
+	e.s.dead++
+	e.s.maybeCompact()
 }
 
 // Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e != nil && e.ev != nil && e.ev.canceled }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (e *Event) Canceled() bool {
+	if e == nil || e.s == nil {
+		return false
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	if e.canceled {
+		return true
+	}
+	rec := &e.s.slab[e.idx]
+	return rec.gen == e.gen && rec.canceled
 }
 
 // Sim is a discrete-event simulator instance. The zero value is not
@@ -83,7 +86,11 @@ func (h *eventHeap) Pop() any {
 type Sim struct {
 	now         Time
 	seq         uint64
-	events      eventHeap
+	slab        []eventRec // event records, indexed by heap entries
+	free        []int32    // recycled slab slots
+	heap        []int32    // binary min-heap of slab indices, keyed by (at, seq)
+	live        int        // scheduled, uncanceled events (Pending)
+	dead        int        // canceled records still occupying heap entries
 	rng         *rand.Rand
 	token       chan struct{} // returned to the scheduler when a process parks or exits
 	procs       int           // live (not yet exited) processes
@@ -112,7 +119,7 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 
 // After schedules fn to run after delay d (non-negative) and returns a
 // cancelable handle.
-func (s *Sim) After(d time.Duration, fn func()) *Event {
+func (s *Sim) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -120,15 +127,114 @@ func (s *Sim) After(d time.Duration, fn func()) *Event {
 }
 
 // At schedules fn to run at absolute virtual time t. Times in the past
-// are clamped to the current time.
-func (s *Sim) At(t Time, fn func()) *Event {
+// are clamped to the current time. Scheduling is allocation-free in
+// steady state: records live in a slab recycled through a free list,
+// and the returned Event is a value handle.
+func (s *Sim) At(t Time, fn func()) Event {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	ev := &event{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.events, ev)
-	return &Event{ev: ev}
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.slab = append(s.slab, eventRec{gen: 1})
+		idx = int32(len(s.slab) - 1)
+	}
+	rec := &s.slab[idx]
+	rec.at, rec.seq, rec.fn, rec.canceled = t, s.seq, fn, false
+	s.heapPush(idx)
+	s.live++
+	return Event{s: s, idx: idx, gen: rec.gen}
+}
+
+// recycle returns a slab slot to the free list. Bumping gen invalidates
+// every outstanding Event handle to the slot.
+func (s *Sim) recycle(idx int32) {
+	rec := &s.slab[idx]
+	rec.fn = nil
+	rec.gen++
+	s.free = append(s.free, idx)
+}
+
+// less orders heap entries by (at, seq).
+func (s *Sim) less(a, b int32) bool {
+	ra, rb := &s.slab[a], &s.slab[b]
+	if ra.at != rb.at {
+		return ra.at < rb.at
+	}
+	return ra.seq < rb.seq
+}
+
+func (s *Sim) heapPush(idx int32) {
+	s.heap = append(s.heap, idx)
+	i := len(s.heap) - 1
+	h := s.heap
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// heapPopMin removes and returns the root entry.
+func (s *Sim) heapPopMin() int32 {
+	h := s.heap
+	idx := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	s.heap = h[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+	return idx
+}
+
+func (s *Sim) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && s.less(h[r], h[l]) {
+			m = r
+		}
+		if !s.less(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// maybeCompact drains canceled records eagerly once they dominate the
+// heap, so a cancel-heavy workload (NAT timer refreshes) cannot keep
+// the queue arbitrarily larger than its live population.
+func (s *Sim) maybeCompact() {
+	if s.dead < 64 || s.dead*2 <= len(s.heap) {
+		return
+	}
+	kept := s.heap[:0]
+	for _, idx := range s.heap {
+		if s.slab[idx].canceled {
+			s.recycle(idx)
+		} else {
+			kept = append(kept, idx)
+		}
+	}
+	s.heap = kept
+	for i := len(kept)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+	s.dead = 0
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -172,7 +278,7 @@ func (s *Sim) Run(horizon time.Duration) Time {
 	s.running = true
 	defer func() { s.running = false }()
 	sincePoll := 0
-	for !s.stopped && len(s.events) > 0 {
+	for !s.stopped && len(s.heap) > 0 {
 		if s.interrupt != nil {
 			if sincePoll++; sincePoll >= interruptPollInterval {
 				sincePoll = 0
@@ -182,18 +288,25 @@ func (s *Sim) Run(horizon time.Duration) Time {
 				}
 			}
 		}
-		ev := heap.Pop(&s.events).(*event)
-		if ev.canceled {
+		idx := s.heap[0]
+		rec := &s.slab[idx]
+		if rec.canceled {
+			s.heapPopMin()
+			s.dead--
+			s.recycle(idx)
 			continue
 		}
-		if horizon > 0 && ev.at > horizon {
-			// Put it back for a potential later Run call.
-			heap.Push(&s.events, ev)
+		if horizon > 0 && rec.at > horizon {
+			// Leave it queued for a potential later Run call.
 			s.now = horizon
 			return s.now
 		}
-		s.now = ev.at
-		ev.fn()
+		at, fn := rec.at, rec.fn
+		s.heapPopMin()
+		s.live--
+		s.recycle(idx)
+		s.now = at
+		fn()
 	}
 	return s.now
 }
@@ -202,16 +315,10 @@ func (s *Sim) Run(horizon time.Duration) Time {
 // event. It is only meaningful after Run returns.
 func (s *Sim) Stalled() int { return s.parked }
 
-// Pending returns the number of scheduled (uncanceled) events.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, ev := range s.events {
-		if !ev.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled (uncanceled) events. It is
+// O(1): a live-event counter is maintained on schedule/cancel/fire, so
+// hot progress paths can poll it freely.
+func (s *Sim) Pending() int { return s.live }
 
 // A Proc is a cooperatively scheduled simulator process. All methods
 // must be called from the process's own goroutine.
@@ -224,6 +331,11 @@ type Proc struct {
 	// wakeArmed guards against double wake-ups: each park consumes
 	// exactly one wake.
 	wakeArmed bool
+	// handoffFn/wakeFn cache the method values scheduled on every wake
+	// and sleep, so the per-event closure allocation happens once per
+	// process instead of once per park.
+	handoffFn func()
+	wakeFn    func()
 }
 
 // Name returns the name given to Spawn.
@@ -239,6 +351,8 @@ func (p *Proc) Now() Time { return p.s.now }
 // time. fn begins executing when the scheduler reaches the start event.
 func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{s: s, name: name, resume: make(chan struct{})}
+	p.handoffFn = p.handoff
+	p.wakeFn = p.scheduleWake
 	s.procs++
 	s.At(s.now, func() {
 		go func() {
@@ -283,18 +397,18 @@ func (p *Proc) scheduleWake() {
 		return
 	}
 	p.wakeArmed = false
-	p.s.At(p.s.now, p.handoff)
+	p.s.At(p.s.now, p.handoffFn)
 }
 
 // Sleep suspends the process for d of virtual time.
 func (p *Proc) Sleep(d time.Duration) {
 	if d <= 0 {
 		// Yield: reschedule after already-queued events at this instant.
-		p.s.At(p.s.now, func() { p.scheduleWake() })
+		p.s.At(p.s.now, p.wakeFn)
 		p.park()
 		return
 	}
-	p.s.After(d, func() { p.scheduleWake() })
+	p.s.After(d, p.wakeFn)
 	p.park()
 }
 

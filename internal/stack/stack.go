@@ -218,17 +218,17 @@ func (h *Host) SendVia(ifc *NetIf, nextHop netip.Addr, ip *netpkt.IPv4) {
 		ip.Src = ifc.Addr
 	}
 	if ip.Dst == netip.AddrFrom4([4]byte{255, 255, 255, 255}) {
-		ifc.Link.Send(&netpkt.Frame{
-			Dst: netpkt.BroadcastMAC, Src: ifc.Link.MAC,
-			Type: netpkt.EtherTypeIPv4, Payload: ip.Marshal(),
-		})
+		f := netpkt.GetFrame()
+		f.Dst, f.Src = netpkt.BroadcastMAC, ifc.Link.MAC
+		f.Type, f.Payload = netpkt.EtherTypeIPv4, ip.MarshalPooled()
+		ifc.Link.Send(f)
 		return
 	}
 	if mac, ok := ifc.arp[nextHop]; ok {
-		ifc.Link.Send(&netpkt.Frame{
-			Dst: mac, Src: ifc.Link.MAC,
-			Type: netpkt.EtherTypeIPv4, Payload: ip.Marshal(),
-		})
+		f := netpkt.GetFrame()
+		f.Dst, f.Src = mac, ifc.Link.MAC
+		f.Type, f.Payload = netpkt.EtherTypeIPv4, ip.MarshalPooled()
+		ifc.Link.Send(f)
 		return
 	}
 	// Queue behind ARP resolution.
@@ -251,10 +251,10 @@ func (n *NetIf) sendARPRequest(target netip.Addr) {
 		SenderIP:  n.Addr,
 		TargetIP:  target,
 	}
-	n.Link.Send(&netpkt.Frame{
-		Dst: netpkt.BroadcastMAC, Src: n.Link.MAC,
-		Type: netpkt.EtherTypeARP, Payload: req.Marshal(),
-	})
+	f := netpkt.GetFrame()
+	f.Dst, f.Src = netpkt.BroadcastMAC, n.Link.MAC
+	f.Type, f.Payload = netpkt.EtherTypeARP, req.AppendMarshal(netpkt.GetBuf(28))
+	n.Link.Send(f)
 }
 
 // AddARP seeds a static ARP entry (used by tests and by DHCP clients that
@@ -263,14 +263,23 @@ func (n *NetIf) AddARP(addr netip.Addr, mac netpkt.MAC) { n.arp[addr] = mac }
 
 func (h *Host) recvFrame(ifc *NetIf, f *netpkt.Frame) {
 	if !f.Dst.IsBroadcast() && f.Dst != ifc.Link.MAC {
-		return // not for us (switch flooded it)
+		// Not for us (switch flooded it). The frame dies here unparsed,
+		// so it can be recycled immediately.
+		netpkt.PutBuf(f.Payload)
+		netpkt.PutFrame(f)
+		return
 	}
 	switch f.Type {
 	case netpkt.EtherTypeARP:
 		h.recvARP(ifc, f)
+		// ParseARP copies everything it keeps; the buffer is dead.
+		netpkt.PutBuf(f.Payload)
 	case netpkt.EtherTypeIPv4:
 		h.recvIP(ifc, f)
 	}
+	// The frame struct itself dies with this delivery (parsed views
+	// alias only the payload buffer).
+	netpkt.PutFrame(f)
 }
 
 func (h *Host) recvARP(ifc *NetIf, f *netpkt.Frame) {
@@ -296,10 +305,10 @@ func (h *Host) recvARP(ifc *NetIf, f *netpkt.Frame) {
 			TargetMAC: a.SenderMAC,
 			TargetIP:  a.SenderIP,
 		}
-		ifc.Link.Send(&netpkt.Frame{
-			Dst: a.SenderMAC, Src: ifc.Link.MAC,
-			Type: netpkt.EtherTypeARP, Payload: reply.Marshal(),
-		})
+		f := netpkt.GetFrame()
+		f.Dst, f.Src = a.SenderMAC, ifc.Link.MAC
+		f.Type, f.Payload = netpkt.EtherTypeARP, reply.AppendMarshal(netpkt.GetBuf(28))
+		ifc.Link.Send(f)
 	}
 }
 
@@ -318,12 +327,18 @@ func (h *Host) IsLocal(addr netip.Addr) bool {
 }
 
 func (h *Host) recvIP(ifc *NetIf, f *netpkt.Frame) {
+	// The parse aliases f.Payload; from here on the parsed view owns
+	// the buffer (it may be retained by forwarding queues, transport
+	// stacks or ARP wait queues), so only the drop paths below — where
+	// the view provably dies — may recycle it.
 	ip, err := netpkt.ParseIPv4(f.Payload)
 	if err != nil {
 		if ip == nil {
+			netpkt.PutBuf(f.Payload)
 			return
 		}
 		if err == netpkt.ErrBadChecksum && h.DropBadIPChecksum {
+			netpkt.PutBuf(f.Payload)
 			return
 		}
 	}

@@ -175,7 +175,7 @@ type Conn struct {
 	rto        time.Duration
 	srtt       time.Duration
 	rttvar     time.Duration
-	rtoTimer   *sim.Event
+	rtoTimer   sim.Event
 	rttSeq     uint32
 	rttStart   sim.Time
 	rttPending bool
@@ -190,7 +190,7 @@ type Conn struct {
 
 	// App notification.
 	// Keepalive (RFC 1122 4.2.3.6).
-	kaTimer    *sim.Event
+	kaTimer    sim.Event
 	kaInterval time.Duration
 
 	rxN     *sim.Chan[struct{}]
@@ -226,10 +226,8 @@ func (c *Conn) Err() error { return c.err }
 // 2-hour minimum interval is far longer than most gateways' TCP binding
 // timeouts, so keepalives at that rate fail to hold NAT bindings.
 func (c *Conn) SetKeepAlive(interval time.Duration) {
-	if c.kaTimer != nil {
-		c.kaTimer.Cancel()
-		c.kaTimer = nil
-	}
+	c.kaTimer.Cancel()
+	c.kaTimer = sim.Event{}
 	c.kaInterval = interval
 	if interval > 0 {
 		c.armKeepAlive()
@@ -238,7 +236,7 @@ func (c *Conn) SetKeepAlive(interval time.Duration) {
 
 func (c *Conn) armKeepAlive() {
 	c.kaTimer = c.st.s.After(c.kaInterval, func() {
-		c.kaTimer = nil
+		c.kaTimer = sim.Event{}
 		if c.state != StateEstablished && c.state != StateCloseWait {
 			return
 		}
@@ -542,14 +540,10 @@ func (c *Conn) teardown(err error) {
 	if c.err == nil {
 		c.err = err
 	}
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-		c.rtoTimer = nil
-	}
-	if c.kaTimer != nil {
-		c.kaTimer.Cancel()
-		c.kaTimer = nil
-	}
+	c.rtoTimer.Cancel()
+	c.rtoTimer = sim.Event{}
+	c.kaTimer.Cancel()
+	c.kaTimer = sim.Event{}
 	delete(c.st.conns, c.key)
 	if c.st.usedPorts[c.key.lport] > 0 {
 		c.st.usedPorts[c.key.lport]--
@@ -570,22 +564,18 @@ func (c *Conn) notifyAll() {
 }
 
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-	}
+	c.rtoTimer.Cancel()
 	c.rtoTimer = c.st.s.After(c.rto, c.onRTO)
 }
 
 func (c *Conn) disarmRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Cancel()
+	c.rtoTimer = sim.Event{}
 	c.retries = 0
 }
 
 func (c *Conn) onRTO() {
-	c.rtoTimer = nil
+	c.rtoTimer = sim.Event{}
 	c.retries++
 	if DebugRTO != nil {
 		DebugRTO(c)

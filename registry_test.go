@@ -97,6 +97,30 @@ func TestRunDeterminism(t *testing.T) {
 	}
 }
 
+// TestFleetRenderDeterministicPooled re-asserts the equal-seed
+// byte-identical render guarantee on top of the pooled packet codecs
+// and the slab event queue, in the configuration that stresses them
+// hardest: fleet mode, where concurrent shards share the buffer pools
+// and every shard runs its own event slab. Buffer recycling order
+// differs run to run (sync.Pool is scheduling-dependent); the rendered
+// figures — and therefore hgw.CacheKey-addressed cache entries — must
+// not.
+func TestFleetRenderDeterministicPooled(t *testing.T) {
+	run := func() string {
+		results, err := hgw.Run(context.Background(), []string{"udp1"},
+			hgw.WithSeed(11), hgw.WithFleet(48), hgw.WithShards(4),
+			hgw.WithIterations(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results.Render()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("equal-seed fleet runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
 // TestRunSharesTestbeds checks the scheduler's reuse guarantee: a
 // multi-experiment run builds strictly fewer testbeds than the number
 // of experiments requested.
