@@ -7,9 +7,10 @@
 // # Experiments
 //
 // Every experiment in the paper's evaluation (Figures 2-10, Table 2)
-// plus the extensions (bindrate, keepalive, holepunch) is an Experiment
-// registered in the package registry; Run executes any subset of them
-// and returns uniform Result envelopes:
+// plus the extensions (bindrate, keepalive, holepunch, natmap,
+// punchmatrix) is an Experiment registered in the package registry;
+// Run executes any subset of them and returns uniform Result
+// envelopes:
 //
 //	results, err := hgw.Run(ctx, []string{"udp1", "tcp1"},
 //		hgw.WithTags("je", "owrt", "ls1"),

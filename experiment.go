@@ -175,8 +175,8 @@ func builtinExperiments() []*Experiment {
 				return probe.IPQuirks(env.Testbed, env.Sim, env.Options)
 			},
 			func(r probe.QuirkResult) string {
-				return fmt.Sprintf("%-5s ttl-dec=%-5v record-route=%-5v hairpin=%-5v same-mac=%v",
-					r.Tag, r.DecrementsTTL, r.RecordsRoute, r.Hairpins, r.SameMAC)
+				return fmt.Sprintf("%-5s ttl-dec=%-5v record-route=%-5v hairpin=%-5v same-mac=%-5v drops=%s",
+					r.Tag, r.DecrementsTTL, r.RecordsRoute, r.Hairpins, r.SameMAC, FormatDrops(r.Drops))
 			},
 			nil),
 		figureExp("bindrate", "Binding-creation rate (§5 future work)", "bindings/sec", "§5", "", false, true,
@@ -185,7 +185,90 @@ func builtinExperiments() []*Experiment {
 			}),
 		newKeepaliveExperiment(),
 		newHolePunchExperiment(),
+		newNATMapExperiment(),
+		newPunchMatrixExperiment(),
 	}
+}
+
+// FormatDrops renders a drop-counter map (QuirkResult.Drops,
+// NATMapResult.Drops, Engine drop deltas) compactly and
+// deterministically: comma-joined "reason:count" sorted by reason,
+// "-" when empty. The quirks and natmap renders use it; reporting
+// front-ends should too, so drop lines stay grep-compatible.
+func FormatDrops(drops map[string]int) string {
+	if len(drops) == 0 {
+		return "-"
+	}
+	reasons := make([]string, 0, len(drops))
+	for k := range drops {
+		reasons = append(reasons, k)
+	}
+	sort.Strings(reasons)
+	var sb strings.Builder
+	for i, k := range reasons {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s:%d", k, drops[k])
+	}
+	return sb.String()
+}
+
+// newNATMapExperiment classifies each device's RFC 4787 mapping and
+// filtering behavior from the outside, STUN-style, and validates the
+// probe against the engine's configured policy.
+func newNATMapExperiment() *Experiment {
+	return linesExp("natmap", "RFC 4787 mapping/filtering classification (STUN-style)", "", "§2",
+		"engine-vs-probe agreement: Table 1 is uniformly APDM/APDF (symmetric)",
+		func(env *Env) []probe.NATMapResult {
+			return probe.NATMap(env.Testbed, env.Sim, env.Options)
+		},
+		func(r probe.NATMapResult) string {
+			return fmt.Sprintf("%-5s probe=%-10s configured=%-10s agree=%-5v ports=%v",
+				r.Tag, r.Classes(), r.ConfiguredMapping.Short()+"/"+r.ConfiguredFiltering.Short(),
+				r.MappingAgrees && r.FilteringAgrees, r.MapPorts)
+		},
+		func(rs []probe.NATMapResult) string {
+			mapOK, filtOK := 0, 0
+			for _, r := range rs {
+				if r.MappingAgrees {
+					mapOK++
+				}
+				if r.FilteringAgrees {
+					filtOK++
+				}
+			}
+			return fmt.Sprintf("agreement: mapping %d/%d, filtering %d/%d\n", mapOK, len(rs), filtOK, len(rs))
+		})
+}
+
+// newPunchMatrixExperiment sweeps hole punching over pairs of RFC 4787
+// behavior classes on synthetic gateways and reports predicted vs.
+// simulated traversal success. Tags are ignored: the sweep set is the
+// behavior classes themselves, not inventory devices.
+func newPunchMatrixExperiment() *Experiment {
+	e := &Experiment{ID: "punchmatrix",
+		Title: "Traversal success by RFC 4787 behavior-class pair (predicted vs. simulated)",
+		Ref:   "§2", Standalone: true, ExplicitOnly: true,
+		Note: "EIM x EIF punches; APDM x APDF with fresh ports fails without port prediction; port preservation rescues it"}
+	e.Run = func(ctx context.Context, env *Env) (*Result, error) {
+		res := probe.PunchMatrix(nil, env.Seed, func() bool { return ctx.Err() != nil })
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var sb strings.Builder
+		agree := 0
+		fmt.Fprintf(&sb, "%-13s %-13s %-9s %-9s %s\n", "classA", "classB", "predicted", "simulated", "agree")
+		for _, r := range res {
+			if r.Agree {
+				agree++
+			}
+			fmt.Fprintf(&sb, "%-13s %-13s %-9v %-9v %v\n", r.ClassA, r.ClassB, r.Predicted, r.Simulated, r.Agree)
+		}
+		fmt.Fprintf(&sb, "prediction agreement: %d/%d pairs\n", agree, len(res))
+		return e.result(nil, res, sb.String()), nil
+	}
+	return e
 }
 
 // newFig2Experiment overlays the UDP-1/2/3 series, ordered by the

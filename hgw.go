@@ -30,6 +30,8 @@ type (
 	DNSResult = probe.DNSResult
 	// PortReuseResult is a UDP-4 observation.
 	PortReuseResult = probe.PortReuseResult
+	// PortReuseClass is the paper's UDP-4 classification.
+	PortReuseClass = probe.PortReuseClass
 	// QuirkResult reports the §4.4 IP-layer quirks.
 	QuirkResult = probe.QuirkResult
 	// KeepaliveResult reports whether 2-hour TCP keepalives held a
@@ -38,6 +40,12 @@ type (
 	// HolePunchResult reports a UDP hole-punching attempt between two
 	// NATed hosts.
 	HolePunchResult = probe.HolePunchResult
+	// NATMapResult is a STUN-style RFC 4787 mapping/filtering
+	// classification of one device, with engine-vs-probe agreement.
+	NATMapResult = probe.NATMapResult
+	// PunchMatrixResult reports predicted vs. simulated traversal
+	// success for one RFC 4787 behavior-class pair.
+	PunchMatrixResult = probe.PunchMatrixResult
 	// Profile describes one emulated gateway model.
 	Profile = gateway.Profile
 	// Testbed is the assembled Figure 1 environment, for custom
@@ -47,6 +55,13 @@ type (
 	Node = testbed.Node
 	// Sim is the discrete-event simulator driving a Testbed.
 	Sim = sim.Sim
+)
+
+// The UDP-4 port classes (§4.1), re-exported for payload consumers.
+const (
+	PreserveAndReuse   = probe.PreserveAndReuse
+	PreserveNewBinding = probe.PreserveNewBinding
+	NoPreservation     = probe.NoPreservation
 )
 
 // Config parameterizes a legacy RunXXX call.

@@ -1,0 +1,90 @@
+package gateway
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"hgw/internal/nat"
+)
+
+// TestSynthesizeBehaviorsPreservesBase: the behavior overlay must not
+// perturb the base profile stream — a behavior-annotated fleet is the
+// plain fleet plus classes.
+func TestSynthesizeBehaviorsPreservesBase(t *testing.T) {
+	base := Synthesize(64, 5)
+	mixed := SynthesizeBehaviors(64, 5, DefaultBehaviorMix)
+	if len(mixed) != len(base) {
+		t.Fatalf("len = %d, want %d", len(mixed), len(base))
+	}
+	for i := range base {
+		b, m := base[i], mixed[i]
+		m.NAT.Mapping, m.NAT.Filtering = b.NAT.Mapping, b.NAT.Filtering
+		if !reflect.DeepEqual(b, m) {
+			t.Fatalf("device %d: base profile perturbed by behavior overlay:\n%+v\n%+v", i, b, m)
+		}
+	}
+}
+
+func TestSynthesizeBehaviorsDeterministicAndMixed(t *testing.T) {
+	a := SynthesizeBehaviors(256, 9, DefaultBehaviorMix)
+	b := SynthesizeBehaviors(256, 9, DefaultBehaviorMix)
+	counts := map[[2]int]int{}
+	for i := range a {
+		if a[i].NAT.Mapping != b[i].NAT.Mapping || a[i].NAT.Filtering != b[i].NAT.Filtering {
+			t.Fatalf("device %d: behavior draw not deterministic", i)
+		}
+		counts[[2]int{int(a[i].NAT.Mapping), int(a[i].NAT.Filtering)}]++
+	}
+	// Every mix cell should be populated at n=256, with frequencies in
+	// the right ballpark (loose 3-sigma-ish bounds).
+	for _, c := range DefaultBehaviorMix {
+		got := counts[[2]int{int(c.Mapping), int(c.Filtering)}]
+		want := c.Weight * 256
+		if got == 0 {
+			t.Errorf("class %s/%s: no devices sampled", c.Mapping.Short(), c.Filtering.Short())
+		}
+		if math.Abs(float64(got)-want) > 3*math.Sqrt(want)+6 {
+			t.Errorf("class %s/%s: %d devices, want ~%.0f", c.Mapping.Short(), c.Filtering.Short(), got, want)
+		}
+	}
+	// And nothing outside the mix.
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 256 || len(counts) > len(DefaultBehaviorMix) {
+		t.Fatalf("class histogram %v does not partition the fleet", counts)
+	}
+}
+
+func TestSynthesizeBehaviorsNilMix(t *testing.T) {
+	plain := Synthesize(8, 3)
+	same := SynthesizeBehaviors(8, 3, nil)
+	for i := range plain {
+		if plain[i].Tag != same[i].Tag ||
+			same[i].NAT.Mapping != nat.MappingAddressAndPortDependent ||
+			same[i].NAT.Filtering != nat.FilteringAddressAndPortDependent {
+			t.Fatalf("nil mix altered device %d", i)
+		}
+	}
+}
+
+func TestBehaviorProfileAndNATClass(t *testing.T) {
+	p := BehaviorProfile("x", nat.MappingEndpointIndependent, nat.FilteringAddressDependent, nat.PortAllocSequential)
+	if got := p.NATClass(); got != "EIM/ADF sequential" {
+		t.Fatalf("NATClass = %q", got)
+	}
+	owrt, _ := ByTag("owrt")
+	if got := owrt.NATClass(); got != "APDM/APDF preserve+reuse" {
+		t.Fatalf("owrt NATClass = %q", got)
+	}
+	smc, _ := ByTag("smc")
+	if got := smc.NATClass(); got != "APDM/APDF no-preservation" {
+		t.Fatalf("smc NATClass = %q", got)
+	}
+	be1, _ := ByTag("be1")
+	if got := be1.NATClass(); got != "APDM/APDF preserve+new-binding" {
+		t.Fatalf("be1 NATClass = %q", got)
+	}
+}

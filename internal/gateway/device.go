@@ -185,7 +185,10 @@ func (d *Device) rawWAN(in *stack.NetIf, ip *netpkt.IPv4) bool {
 	// intercepted before local delivery.
 	if in == d.LANIf && ip.Dst.IsValid() && ip.Dst == d.Engine.WAN() {
 		if !d.Profile.NAT.Hairpinning {
-			return true // a non-hairpinning NAT silently eats these
+			// A non-hairpinning NAT eats these; count the drop so the
+			// quirks probe's verdict is diagnosable.
+			d.Engine.CountDrop("hairpin-disabled")
+			return true
 		}
 		if !d.Engine.Outbound(ip) {
 			return true

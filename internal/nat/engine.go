@@ -28,7 +28,7 @@ func (k flowKey) String() string {
 	return fmt.Sprintf("%s %v:%d->%v:%d", netpkt.ProtoName(k.proto), k.client, k.cport, k.server, k.sport)
 }
 
-// extKey identifies a binding from the WAN side.
+// extKey identifies a session from the WAN side.
 type extKey struct {
 	proto  uint8
 	ext    uint16
@@ -45,16 +45,82 @@ type portKey struct {
 // port-preserving NAT reuses one external port for all flows of the
 // same internal endpoint (port overloading): the reverse map stays
 // unambiguous because byExt is keyed by the remote endpoint too.
+// mappings lists the live mappings translated to this port (more than
+// one only under overloading), in creation order; the inbound filter
+// consults it when deciding whether a packet without an exact session
+// may pass.
 type portOwner struct {
-	client netip.Addr
-	cport  uint16
-	n      int
+	client   netip.Addr
+	cport    uint16
+	n        int // live sessions on the port
+	mappings []*Mapping
 }
 
-// Binding is one active translation entry.
+func (o *portOwner) dropMapping(m *Mapping) {
+	for i, cand := range o.mappings {
+		if cand == m {
+			o.mappings = append(o.mappings[:i], o.mappings[i+1:]...)
+			return
+		}
+	}
+}
+
+// mapKey identifies one mapping under the device's mapping behavior:
+// the internal endpoint plus whatever part of the destination the
+// behavior folds in — nothing under EIM, the address under ADM, the
+// full endpoint under APDM (where mappings and sessions are 1:1, the
+// pre-refactor table shape).
+type mapKey struct {
+	proto  uint8
+	client netip.Addr
+	cport  uint16
+	server netip.Addr // zero under EIM
+	sport  uint16     // zero under EIM and ADM
+}
+
+// epKey distinguishes a mapping's sessions by remote endpoint.
+type epKey struct {
+	server netip.Addr
+	sport  uint16
+}
+
+// Mapping is the first level of the two-level binding table: one
+// external port, shared by every session the mapping behavior folds
+// onto it. A mapping lives exactly as long as it has live sessions;
+// per-session timers (the UDP-1/2/3 state machine, TCP state tracking)
+// drive the lifecycle.
+type Mapping struct {
+	key      mapKey
+	ext      uint16
+	sessions map[epKey]*Binding
+}
+
+// Ext returns the mapping's external port.
+func (m *Mapping) Ext() uint16 { return m.ext }
+
+// Sessions returns the number of live sessions on the mapping.
+func (m *Mapping) Sessions() int { return len(m.sessions) }
+
+// mapKeyFor folds a flow onto its mapping key per the mapping behavior.
+func (e *Engine) mapKeyFor(f flowKey) mapKey {
+	k := mapKey{proto: f.proto, client: f.client, cport: f.cport}
+	switch e.pol.Mapping {
+	case MappingEndpointIndependent:
+	case MappingAddressDependent:
+		k.server = f.server
+	default: // MappingAddressAndPortDependent
+		k.server, k.sport = f.server, f.sport
+	}
+	return k
+}
+
+// Binding is one active session: the second level of the binding
+// table. Every session belongs to exactly one Mapping (which fixes its
+// external port) and carries its own refresh timers.
 type Binding struct {
 	flow    flowKey
 	ext     uint16
+	m       *Mapping
 	created sim.Time
 	timer   sim.Event
 	// expireFn is the timer callback, built once per binding so that
@@ -66,6 +132,10 @@ type Binding struct {
 	sawInbound           bool
 	sawOutboundAfterInbd bool
 
+	// inboundInitiated marks sessions created by a filter-admitted
+	// inbound packet (EIF/ADF) rather than by outbound traffic.
+	inboundInitiated bool
+
 	// TCP state tracking.
 	tcpEstablished bool
 	finClient      bool
@@ -75,6 +145,9 @@ type Binding struct {
 
 // Ext returns the binding's external port.
 func (b *Binding) Ext() uint16 { return b.ext }
+
+// Mapping returns the mapping the session belongs to.
+func (b *Binding) Mapping() *Mapping { return b.m }
 
 type quarEntry struct {
 	port  uint16
@@ -89,9 +162,14 @@ type Engine struct {
 
 	byFlow     map[flowKey]*Binding
 	byExt      map[extKey]*Binding
+	mappings   map[mapKey]*Mapping
 	portsInUse map[portKey]*portOwner
 	quarantine map[flowKey]quarEntry
 	nextPort   uint16
+	// lastContig remembers each internal endpoint's previous
+	// allocation for PortAllocContiguous (allocated lazily: the
+	// default behaviors never touch it).
+	lastContig map[mapKey]uint16
 	phase      time.Duration // expiry-quantisation phase
 	tcpCount   int
 
@@ -110,6 +188,7 @@ func NewEngine(s *sim.Sim, pol Policy) *Engine {
 		pol:        pol.withDefaults(),
 		byFlow:     make(map[flowKey]*Binding),
 		byExt:      make(map[extKey]*Binding),
+		mappings:   make(map[mapKey]*Mapping),
 		portsInUse: make(map[portKey]*portOwner),
 		quarantine: make(map[flowKey]quarEntry),
 		nextPort:   30000,
@@ -127,20 +206,48 @@ func (e *Engine) SetWAN(addr netip.Addr) { e.wan = addr }
 // WAN returns the external address.
 func (e *Engine) WAN() netip.Addr { return e.wan }
 
-// BindingCount returns the number of active bindings.
+// BindingCount returns the number of active sessions.
 func (e *Engine) BindingCount() int { return len(e.byFlow) }
 
-// TCPBindingCount returns the number of active TCP bindings.
+// MappingCount returns the number of active mappings (equal to
+// BindingCount under address-and-port-dependent mapping, smaller when
+// EIM/ADM fold sessions together).
+func (e *Engine) MappingCount() int { return len(e.mappings) }
+
+// TCPBindingCount returns the number of active TCP sessions.
 func (e *Engine) TCPBindingCount() int { return e.tcpCount }
 
-// LookupFlow returns the binding for a 5-tuple, if active.
+// LookupFlow returns the session for a 5-tuple, if active.
 func (e *Engine) LookupFlow(proto uint8, client netip.Addr, cport uint16, server netip.Addr, sport uint16) (*Binding, bool) {
 	b, ok := e.byFlow[flowKey{proto, client, cport, server, sport}]
 	return b, ok
 }
 
+// LookupMapping returns the mapping an outbound flow would use, if one
+// is active.
+func (e *Engine) LookupMapping(proto uint8, client netip.Addr, cport uint16, server netip.Addr, sport uint16) (*Mapping, bool) {
+	m, ok := e.mappings[e.mapKeyFor(flowKey{proto, client, cport, server, sport})]
+	return m, ok
+}
+
 func (e *Engine) drop(reason string) {
 	e.Drops[reason]++
+}
+
+// CountDrop lets the surrounding device attribute a drop it performs
+// on the engine's behalf (e.g. swallowing hairpin traffic when the
+// policy disables hairpinning) to the engine's per-reason counters.
+func (e *Engine) CountDrop(reason string) { e.drop(reason) }
+
+// DropCounts returns a copy of the per-reason drop counters, so
+// callers (probes, result payloads) can snapshot them without aliasing
+// the live map.
+func (e *Engine) DropCounts() map[string]int {
+	out := make(map[string]int, len(e.Drops))
+	for k, v := range e.Drops {
+		out[k] = v
+	}
+	return out
 }
 
 // udpTimeouts returns the timeout triple for a destination service port.
@@ -208,7 +315,17 @@ func (e *Engine) remove(b *Binding) {
 	delete(e.byFlow, b.flow)
 	delete(e.byExt, extKey{b.flow.proto, b.ext, b.flow.server, b.flow.sport})
 	pk := portKey{b.flow.proto, b.ext}
-	if o := e.portsInUse[pk]; o != nil {
+	o := e.portsInUse[pk]
+	if m := b.m; m != nil {
+		delete(m.sessions, epKey{b.flow.server, b.flow.sport})
+		if len(m.sessions) == 0 {
+			delete(e.mappings, m.key)
+			if o != nil {
+				o.dropMapping(m)
+			}
+		}
+	}
+	if o != nil {
 		o.n--
 		if o.n <= 0 {
 			delete(e.portsInUse, pk)
@@ -219,8 +336,24 @@ func (e *Engine) remove(b *Binding) {
 	}
 }
 
-// allocPort chooses an external port for a new binding.
+// portAllocMode resolves the configured allocation behavior, deriving
+// the legacy PortPreservation flag for the zero value.
+func (e *Engine) portAllocMode() PortAllocBehavior {
+	if e.pol.PortAlloc != PortAllocDefault {
+		return e.pol.PortAlloc
+	}
+	if e.pol.PortPreservation {
+		return PortAllocPreserving
+	}
+	return PortAllocSequential
+}
+
+// allocPort chooses an external port for a new mapping, per the port
+// allocation behavior. The quarantine/reuse decision (UDP-4) is shared
+// by every mode: a flow whose previous binding expired under a
+// no-reuse policy has its old port blocked for ReuseQuarantine.
 func (e *Engine) allocPort(proto uint8, flow flowKey, desired uint16) uint16 {
+	mode := e.portAllocMode()
 	var blocked uint16
 	if q, ok := e.quarantine[flow]; ok {
 		if e.s.Now() < q.until {
@@ -229,13 +362,53 @@ func (e *Engine) allocPort(proto uint8, flow flowKey, desired uint16) uint16 {
 			delete(e.quarantine, flow)
 		}
 	}
-	if e.pol.PortPreservation && desired != 0 && desired != blocked {
+	if mode == PortAllocPreserving && desired != 0 && desired != blocked {
 		o := e.portsInUse[portKey{proto, desired}]
 		if o == nil || (o.client == flow.client && o.cport == flow.cport) {
 			// Free, or already held by this same internal endpoint
 			// (port overloading: flows to distinct remotes share it).
 			return desired
 		}
+	}
+	// ep is the contiguous allocator's per-endpoint key; the map is
+	// nil until a contiguous policy first allocates (default behaviors
+	// never touch it).
+	ep := mapKey{proto: flow.proto, client: flow.client, cport: flow.cport}
+	if mode == PortAllocContiguous && e.lastContig == nil {
+		e.lastContig = make(map[mapKey]uint16)
+	}
+	switch mode {
+	case PortAllocRandom:
+		for i := 0; i < 64; i++ {
+			p := uint16(30000 + e.s.Rand().Intn(65536-30000))
+			if p == blocked || p == desired {
+				continue
+			}
+			if e.portsInUse[portKey{proto, p}] == nil {
+				return p
+			}
+		}
+		// Table nearly full: fall back to the sequential scan.
+	case PortAllocContiguous:
+		if last, ok := e.lastContig[ep]; ok {
+			p := last
+			for i := 0; i < 65536; i++ {
+				p++
+				if p < 30000 {
+					p = 30000
+				}
+				if p == blocked || p == desired {
+					continue
+				}
+				if e.portsInUse[portKey{proto, p}] == nil {
+					e.lastContig[ep] = p
+					return p
+				}
+			}
+			return 0
+		}
+		// First allocation for the endpoint: fall through to the
+		// sequential scan and remember its result.
 	}
 	for i := 0; i < 65536; i++ {
 		p := e.nextPort
@@ -247,33 +420,53 @@ func (e *Engine) allocPort(proto uint8, flow flowKey, desired uint16) uint16 {
 			continue
 		}
 		if e.portsInUse[portKey{proto, p}] == nil {
+			if mode == PortAllocContiguous {
+				e.lastContig[ep] = p
+			}
 			return p
 		}
 	}
 	return 0
 }
 
-// newBinding installs a binding for an outbound flow. Protocols
+// newSession installs a session for an outbound flow, creating (or,
+// under EIM/ADM, reusing) the mapping the flow folds onto. Protocols
 // without port numbers (unknown transports under IP-only translation)
 // get external "port" 0 and skip port allocation.
-func (e *Engine) newBinding(flow flowKey) *Binding {
-	var ext uint16
-	switch flow.proto {
-	case netpkt.ProtoTCP, netpkt.ProtoUDP, netpkt.ProtoICMP:
-		ext = e.allocPort(flow.proto, flow, flow.cport)
-		if ext == 0 {
-			return nil
+func (e *Engine) newSession(flow flowKey) *Binding {
+	mk := e.mapKeyFor(flow)
+	m := e.mappings[mk]
+	if m == nil {
+		var ext uint16
+		switch flow.proto {
+		case netpkt.ProtoTCP, netpkt.ProtoUDP, netpkt.ProtoICMP:
+			ext = e.allocPort(flow.proto, flow, flow.cport)
+			if ext == 0 {
+				return nil
+			}
 		}
+		m = &Mapping{key: mk, ext: ext, sessions: make(map[epKey]*Binding, 1)}
+		e.mappings[mk] = m
 	}
-	b := &Binding{flow: flow, ext: ext, created: e.s.Now()}
+	return e.addSession(m, flow)
+}
+
+// addSession attaches one session for flow to mapping m and indexes it.
+func (e *Engine) addSession(m *Mapping, flow flowKey) *Binding {
+	b := &Binding{flow: flow, ext: m.ext, m: m, created: e.s.Now()}
 	b.expireFn = func() { e.expire(b) }
 	e.byFlow[flow] = b
-	e.byExt[extKey{flow.proto, ext, flow.server, flow.sport}] = b
-	pk := portKey{flow.proto, ext}
-	if o := e.portsInUse[pk]; o != nil {
-		o.n++
-	} else {
-		e.portsInUse[pk] = &portOwner{client: flow.client, cport: flow.cport, n: 1}
+	e.byExt[extKey{flow.proto, m.ext, flow.server, flow.sport}] = b
+	m.sessions[epKey{flow.server, flow.sport}] = b
+	pk := portKey{flow.proto, m.ext}
+	o := e.portsInUse[pk]
+	if o == nil {
+		o = &portOwner{client: flow.client, cport: flow.cport}
+		e.portsInUse[pk] = o
+	}
+	o.n++
+	if len(m.sessions) == 1 {
+		o.mappings = append(o.mappings, m)
 	}
 	if flow.proto == netpkt.ProtoTCP {
 		e.tcpCount++
@@ -322,8 +515,13 @@ func (e *Engine) refreshTCP(b *Binding, flags uint8, inbound bool) {
 	case b.tcpEstablished:
 		e.arm(b, e.pol.TCPEstablished)
 	default:
-		if inbound {
-			// Reply to our SYN: connection is coming up.
+		if inbound != b.inboundInitiated {
+			// A segment flowing against the session's initiation
+			// direction: the reply to our SYN (or, for a
+			// filter-admitted inbound session, the internal host
+			// answering) — the connection is coming up. A bare
+			// unsolicited SYN admitted by EIF/ADF stays transitory, so
+			// WAN scanners cannot pin long-lived table slots.
 			b.tcpEstablished = true
 			e.arm(b, e.pol.TCPEstablished)
 			return
@@ -350,7 +548,7 @@ func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
 		flow := flowKey{netpkt.ProtoUDP, client, sport, ip.Dst, dport}
 		b, ok := e.byFlow[flow]
 		if !ok {
-			b = e.newBinding(flow)
+			b = e.newSession(flow)
 			if b == nil {
 				e.drop("udp-ports-exhausted")
 				return false
@@ -392,7 +590,7 @@ func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
 				e.drop("tcp-table-full")
 				return false
 			}
-			b = e.newBinding(flow)
+			b = e.newSession(flow)
 			if b == nil {
 				e.drop("tcp-ports-exhausted")
 				return false
@@ -419,7 +617,7 @@ func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
 		case UnknownTranslateIPOnly:
 			flow := flowKey{ip.Protocol, client, 0, ip.Dst, 0}
 			if _, ok := e.byFlow[flow]; !ok {
-				if b := e.newBinding(flow); b != nil {
+				if b := e.newSession(flow); b != nil {
 					e.arm(b, e.pol.UDP.Bidir) // generic session timeout
 				}
 			} else {
@@ -438,6 +636,60 @@ func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
 	return false
 }
 
+// filterInbound applies the device's filtering behavior to an inbound
+// UDP or TCP packet that matched no exact session. It returns the
+// session to translate with — possibly freshly created on the arrival
+// port's mapping, conntrack-style — or (nil, reason) when the packet
+// must be dropped. Under the default address-and-port-dependent
+// filtering it rejects everything, exactly like the pre-refactor
+// engine (reason "no-binding", preserving the historical counter).
+func (e *Engine) filterInbound(proto uint8, ext uint16, src netip.Addr, sport uint16) (*Binding, string) {
+	if e.pol.Filtering == FilteringAddressAndPortDependent {
+		return nil, "no-binding"
+	}
+	o := e.portsInUse[portKey{proto, ext}]
+	if o == nil || len(o.mappings) == 0 {
+		return nil, "no-binding"
+	}
+	// The mapping the new session joins: the arrival port's first
+	// mapping, or — under address-dependent filtering — the first
+	// mapping holding a session toward the source address (which is
+	// what admits the packet).
+	m := o.mappings[0]
+	if e.pol.Filtering == FilteringAddressDependent {
+		m = nil
+		for _, cand := range o.mappings {
+			match := false
+			for ep := range cand.sessions {
+				if ep.server == src {
+					match = true
+					break
+				}
+			}
+			if match {
+				m = cand
+				break
+			}
+		}
+		if m == nil {
+			return nil, "filtered"
+		}
+	}
+	flow := flowKey{proto, o.client, o.cport, src, sport}
+	if existing, ok := e.byFlow[flow]; ok {
+		// The endpoint already talks to this remote through another
+		// mapping (its own external port): refresh that session rather
+		// than shadowing it.
+		return existing, ""
+	}
+	if proto == netpkt.ProtoTCP && e.tcpCount >= e.pol.MaxTCPBindings {
+		return nil, "table-full"
+	}
+	b := e.addSession(m, flow)
+	b.inboundInitiated = true
+	return b, ""
+}
+
 // Inbound translates a WAN-to-LAN packet in place. It returns false if
 // the packet must be dropped.
 func (e *Engine) Inbound(ip *netpkt.IPv4) bool {
@@ -450,8 +702,12 @@ func (e *Engine) Inbound(ip *netpkt.IPv4) bool {
 		}
 		b, ok := e.byExt[extKey{netpkt.ProtoUDP, dport, ip.Src, sport}]
 		if !ok {
-			e.drop("udp-no-binding")
-			return false
+			var reason string
+			b, reason = e.filterInbound(netpkt.ProtoUDP, dport, ip.Src, sport)
+			if b == nil {
+				e.drop("udp-" + reason)
+				return false
+			}
 		}
 		e.refreshUDP(b, true)
 		sum := binary.BigEndian.Uint16(ip.Payload[6:8])
@@ -476,8 +732,12 @@ func (e *Engine) Inbound(ip *netpkt.IPv4) bool {
 		}
 		b, ok := e.byExt[extKey{netpkt.ProtoTCP, dport, ip.Src, sport}]
 		if !ok {
-			e.drop("tcp-no-binding")
-			return false
+			var reason string
+			b, reason = e.filterInbound(netpkt.ProtoTCP, dport, ip.Src, sport)
+			if b == nil {
+				e.drop("tcp-" + reason)
+				return false
+			}
 		}
 		e.refreshTCP(b, ip.Payload[13]&0x3f, true)
 		sum := binary.BigEndian.Uint16(ip.Payload[16:18])
@@ -542,29 +802,26 @@ func (e *Engine) InboundHairpin(ip *netpkt.IPv4) bool {
 		e.drop("hairpin-short")
 		return false
 	}
-	var b *Binding
-	for k, cand := range e.byExt {
-		if k.proto == ip.Protocol && k.ext == dport {
-			b = cand
-			break
-		}
-	}
-	if b == nil {
+	// Endpoint-independent matching: the port-owner index resolves the
+	// internal endpoint in O(1) (pre-refactor this scanned byExt; the
+	// owner is unique per external port, so the result is identical).
+	o := e.portsInUse[portKey{ip.Protocol, dport}]
+	if o == nil {
 		e.drop("hairpin-no-binding")
 		return false
 	}
 	switch ip.Protocol {
 	case netpkt.ProtoUDP:
 		zero := binary.BigEndian.Uint16(ip.Payload[6:8]) == 0
-		netpkt.SetUDPPorts(ip.Payload, sport, b.flow.cport)
+		netpkt.SetUDPPorts(ip.Payload, sport, o.cport)
 		if !zero {
-			netpkt.FixUDPChecksum(ip.Payload, ip.Src, b.flow.client)
+			netpkt.FixUDPChecksum(ip.Payload, ip.Src, o.client)
 		}
 	case netpkt.ProtoTCP:
-		netpkt.SetTCPPorts(ip.Payload, sport, b.flow.cport)
-		netpkt.FixTCPChecksum(ip.Payload, ip.Src, b.flow.client)
+		netpkt.SetTCPPorts(ip.Payload, sport, o.cport)
+		netpkt.FixTCPChecksum(ip.Payload, ip.Src, o.client)
 	}
-	ip.Dst = b.flow.client
+	ip.Dst = o.client
 	e.Translations++
 	return true
 }

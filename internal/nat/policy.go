@@ -96,7 +96,23 @@ type UDPTimeouts struct {
 
 // Policy is the complete behavioral profile of one NAT device. All
 // fields are externally observable via the paper's measurements.
+//
+// The Mapping, Filtering and PortAlloc axes compose the RFC 4787/5382
+// behavior modules (see behavior.go); their zero values reproduce the
+// pre-refactor engine exactly, so a Policy that does not mention them
+// behaves as every Table 1 device does: address-and-port-dependent in
+// both dimensions.
 type Policy struct {
+	// Mapping selects the RFC 4787 mapping behavior: when flows from
+	// one internal endpoint share an external port. Zero = APDM.
+	Mapping MappingBehavior
+	// Filtering selects the RFC 4787 filtering behavior applied on the
+	// inbound path, independently of Mapping. Zero = APDF.
+	Filtering FilteringBehavior
+	// PortAlloc selects how new mappings' external ports are chosen.
+	// Zero derives preservation-or-sequential from PortPreservation.
+	PortAlloc PortAllocBehavior
+
 	// UDP is the default UDP timeout triple.
 	UDP UDPTimeouts
 	// UDPServices overrides UDP per well-known destination port

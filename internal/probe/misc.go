@@ -162,6 +162,13 @@ type QuirkResult struct {
 	RecordsRoute  bool
 	Hairpins      bool
 	SameMAC       bool
+	// Drops holds the per-reason drop counters this probe added to
+	// the device engine (the delta of Engine.DropCounts across the
+	// probe), so a surprising verdict — a hairpin that never arrived,
+	// say — is diagnosable from the result instead of silent: a
+	// filtering device shows the swallowed probe under the
+	// "udp-no-binding"/"udp-filtered" or "hairpin"-prefixed reasons.
+	Drops map[string]int
 }
 
 // IPQuirks probes TTL decrementing, Record Route honoring, hairpinning
@@ -177,6 +184,7 @@ func IPQuirks(tb *testbed.Testbed, s *sim.Sim, opts Options) []QuirkResult {
 	done := s.Spawn("quirk-probe", func(p *sim.Proc) {
 		for i, n := range tb.Nodes {
 			r := QuirkResult{Tag: n.Tag}
+			dropsBefore := n.Dev.Engine.DropCounts()
 			r.SameMAC = n.Dev.WANIf.Link.MAC == n.Dev.LANIf.Link.MAC
 
 			port := uint16(7600)
@@ -232,6 +240,7 @@ func IPQuirks(tb *testbed.Testbed, s *sim.Sim, opts Options) []QuirkResult {
 
 			cli.Close()
 			srv.Close()
+			r.Drops = dropDelta(dropsBefore, n.Dev.Engine.DropCounts())
 			results[i] = r
 		}
 	})

@@ -115,6 +115,20 @@ func RunPerDevice(tb *testbed.Testbed, s *sim.Sim, name string,
 	return results
 }
 
+// dropDelta subtracts a before-probe snapshot of Engine.DropCounts
+// from an after-probe one, so results attribute only the drops the
+// probe itself caused (experiments sharing a lane's testbed would
+// otherwise leak their drops into later results).
+func dropDelta(before, after map[string]int) map[string]int {
+	out := make(map[string]int)
+	for k, v := range after {
+		if d := v - before[k]; d > 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
 // binarySearch runs the paper's modified binary search: alive(t) must
 // create a fresh binding, idle it for t, and report whether it still
 // relays traffic. The search keeps the longest observed lifetime and

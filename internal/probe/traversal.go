@@ -5,6 +5,8 @@ import (
 	"net/netip"
 	"time"
 
+	"hgw/internal/gateway"
+	"hgw/internal/nat"
 	"hgw/internal/sim"
 	"hgw/internal/testbed"
 	"hgw/internal/udp"
@@ -87,8 +89,24 @@ type HolePunchResult struct {
 // the punch fails — reproducing the success/failure split the paper's
 // related work reports.
 func HolePunch(tagA, tagB string, seed int64) HolePunchResult {
-	tb, s := testbed.Run(testbed.Config{Tags: []string{tagA, tagB}, Seed: seed})
-	res := HolePunchResult{TagA: tagA, TagB: tagB}
+	profA, ok := gateway.ByTag(tagA)
+	if !ok {
+		panic("probe: holepunch: unknown tag " + tagA)
+	}
+	profB, ok := gateway.ByTag(tagB)
+	if !ok {
+		panic("probe: holepunch: unknown tag " + tagB)
+	}
+	return HolePunchProfiles(profA, profB, seed)
+}
+
+// HolePunchProfiles runs the hole-punching procedure between hosts
+// behind two explicitly supplied gateway profiles (which need not be
+// in the Table 1 inventory — the punchmatrix experiment sweeps
+// synthetic RFC 4787 behavior classes through here).
+func HolePunchProfiles(profA, profB gateway.Profile, seed int64) HolePunchResult {
+	tb, s := testbed.Run(testbed.Config{Profiles: []gateway.Profile{profA, profB}, Seed: seed})
+	res := HolePunchResult{TagA: profA.Tag, TagB: profB.Tag}
 	nA, nB := tb.Nodes[0], tb.Nodes[1]
 
 	const rendezvousPort = 3478 // STUN's well-known port, in homage
@@ -164,4 +182,74 @@ func HolePunch(tagA, tagB string, seed int64) HolePunchResult {
 		panic("probe: holepunch stalled")
 	}
 	return res
+}
+
+// PunchClass is one RFC 4787 behavior class in the punchmatrix sweep.
+type PunchClass struct {
+	Label     string
+	Mapping   nat.MappingBehavior
+	Filtering nat.FilteringBehavior
+	Alloc     nat.PortAllocBehavior
+}
+
+// Preserving reports whether the class's allocator preserves the
+// internal source port (what makes a symmetric NAT's punched port
+// predictable anyway).
+func (c PunchClass) Preserving() bool { return c.Alloc == nat.PortAllocPreserving }
+
+// PunchClasses is the default sweep set: the three classic "cone"
+// classes (EIM with progressively stricter filtering), the symmetric
+// class with fresh sequential ports, and the symmetric port-preserving
+// class the paper's population actually exhibits.
+var PunchClasses = []PunchClass{
+	{"eim-eif", nat.MappingEndpointIndependent, nat.FilteringEndpointIndependent, nat.PortAllocSequential},
+	{"eim-adf", nat.MappingEndpointIndependent, nat.FilteringAddressDependent, nat.PortAllocSequential},
+	{"eim-apdf", nat.MappingEndpointIndependent, nat.FilteringAddressAndPortDependent, nat.PortAllocSequential},
+	{"apdm-apdf", nat.MappingAddressAndPortDependent, nat.FilteringAddressAndPortDependent, nat.PortAllocSequential},
+	{"apdm-apdf-pp", nat.MappingAddressAndPortDependent, nat.FilteringAddressAndPortDependent, nat.PortAllocPreserving},
+}
+
+// PunchMatrixResult reports one behavior-class pair of the sweep: the
+// analytic prediction (nat.PredictTraversal), the simulated outcome,
+// and whether they agree.
+type PunchMatrixResult struct {
+	ClassA, ClassB string
+	Predicted      bool
+	Simulated      bool
+	Agree          bool
+	// ExtA and ExtB are the rendezvous-observed external endpoints of
+	// the simulated attempt, for diagnostics.
+	ExtA, ExtB netip.AddrPort
+}
+
+// PunchMatrix sweeps UDP hole punching over every unordered pair of
+// the given behavior classes (PunchClasses when nil), one fresh
+// two-gateway testbed per pair, and checks each simulated outcome
+// against the analytic traversal prediction.
+func PunchMatrix(classes []PunchClass, seed int64, interrupt func() bool) []PunchMatrixResult {
+	if classes == nil {
+		classes = PunchClasses
+	}
+	var out []PunchMatrixResult
+	for i, ca := range classes {
+		for _, cb := range classes[i:] {
+			if interrupt != nil && interrupt() {
+				return out
+			}
+			profA := gateway.BehaviorProfile(ca.Label+"-a", ca.Mapping, ca.Filtering, ca.Alloc)
+			profB := gateway.BehaviorProfile(cb.Label+"-b", cb.Mapping, cb.Filtering, cb.Alloc)
+			hp := HolePunchProfiles(profA, profB, seed)
+			r := PunchMatrixResult{
+				ClassA:    ca.Label,
+				ClassB:    cb.Label,
+				Predicted: nat.PredictTraversal(ca.Mapping, ca.Filtering, ca.Preserving(), cb.Mapping, cb.Filtering, cb.Preserving()),
+				Simulated: hp.Success,
+				ExtA:      hp.ExtA,
+				ExtB:      hp.ExtB,
+			}
+			r.Agree = r.Predicted == r.Simulated
+			out = append(out, r)
+		}
+	}
+	return out
 }

@@ -376,6 +376,25 @@ func (tb *Testbed) startDNSServer() {
 // Zone returns the testbed's DNS zone for extension by examples/tests.
 func (tb *Testbed) Zone() dnsmsg.Zone { return tb.dnsZone }
 
+// AddWANHost attaches an additional host to a node's WAN segment and
+// configures it via the server's per-VLAN DHCP service, returning the
+// endpoint and its leased address. The host sits on the same subnet as
+// the gateway's WAN port, so it is a second server-side endpoint with a
+// distinct address — the NATMap probe sends from it to tell
+// address-dependent from endpoint-independent filtering, and probes
+// mapping behavior across destination addresses. It must be called from
+// a simulator process.
+func (tb *Testbed) AddWANHost(p *sim.Proc, n *Node, name string) (*Endpoint, netip.Addr, error) {
+	ep := newEndpoint(tb.S, name)
+	ifc := ep.Host.AddIf("wan0", netip.Addr{}, 0)
+	netem.Connect(tb.S, ifc.Link, tb.wanSwitch.AddPort(tb.wanVLAN(n.Index)), netem.LinkConfig{QueueBytes: 256 * 1024})
+	lease, err := dhcp.Acquire(p, ep.UDP, ifc, dhcp.ClientConfig{DefaultRoute: true})
+	if err != nil {
+		return nil, netip.Addr{}, fmt.Errorf("testbed: wan host %s dhcp: %w", name, err)
+	}
+	return ep, lease.Addr, nil
+}
+
 // AddLANHost attaches an additional host to a node's LAN segment and
 // configures it via the gateway's DHCP (with a default route through
 // the gateway, like an ordinary household machine). It must be called

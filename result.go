@@ -27,6 +27,8 @@ import (
 //	quirks                              []QuirkResult
 //	keepalive                           []KeepaliveResult
 //	holepunch                           []HolePunchResult
+//	natmap                              []NATMapResult
+//	punchmatrix                         []PunchMatrixResult
 type Result struct {
 	// ID is the registry id that produced this result.
 	ID string
