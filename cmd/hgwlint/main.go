@@ -1,0 +1,335 @@
+// Command hgwlint runs the repo's invariant analyzers (internal/lint)
+// over the module: detlint (determinism, DESIGN.md §8), poollint
+// (buffer ownership, DESIGN.md §9), exhaustlint (enum switch
+// exhaustiveness) and droplint (drop-reason registry discipline).
+//
+// Standalone:
+//
+//	hgwlint ./...              # whole module (the CI lint job)
+//	hgwlint ./internal/nat     # one package
+//	hgwlint -list              # describe the analyzers
+//	hgwlint -analyzers detlint,droplint ./...
+//
+// It also speaks enough of the cmd/go vettool protocol to run as
+//
+//	go vet -vettool=$(which hgwlint) ./...
+//
+// (-V=full / -flags / *.cfg single-unit invocations); the standalone
+// mode is the supported entry point, the vettool mode a convenience.
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hgw/internal/lint"
+)
+
+func main() {
+	// The vettool protocol invokes the tool with -V=full (version for
+	// the build cache), -flags (supported flags as JSON) or a single
+	// *.cfg argument per package unit. Handle those before flag.Parse
+	// so the standalone flags stay separate.
+	args := os.Args[1:]
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			fmt.Println("hgwlint version 1 (stdlib go/analysis)")
+			return
+		case a == "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if n := len(args); n > 0 && strings.HasSuffix(args[n-1], ".cfg") {
+		os.Exit(vettool(args[n-1]))
+	}
+
+	var (
+		list      = flag.Bool("list", false, "describe the analyzers and exit")
+		analyzers = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite := lint.Analyzers()
+	if *analyzers != "" {
+		suite = suite[:0]
+		for _, name := range strings.Split(*analyzers, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fatalf("unknown analyzer %q (try -list)", name)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	modPath, err := lint.ModulePath(root)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	loader := lint.NewLoader(root, modPath)
+
+	var pkgs []*lint.Package
+	for _, pat := range patterns {
+		got, err := loadPattern(loader, root, modPath, pat)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		pkgs = append(pkgs, got...)
+	}
+
+	diags, err := lint.Run(pkgs, suite)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, d := range diags {
+		fmt.Println(rel(root, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hgwlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hgwlint: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// moduleRoot ascends from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// loadPattern resolves one package pattern: "./..." (whole module),
+// "dir/..." (subtree), or a single directory / import path.
+func loadPattern(loader *lint.Loader, root, modPath, pat string) ([]*lint.Package, error) {
+	if pat == "./..." || pat == "all" {
+		return loader.LoadAll()
+	}
+	clean := strings.TrimSuffix(pat, "/...")
+	subtree := clean != pat
+	var ipath string
+	switch {
+	case clean == ".":
+		ipath = modPath
+	case strings.HasPrefix(clean, "./"):
+		ipath = modPath + "/" + filepath.ToSlash(strings.TrimPrefix(clean, "./"))
+	case clean == modPath || strings.HasPrefix(clean, modPath+"/"):
+		ipath = clean
+	default:
+		ipath = modPath + "/" + filepath.ToSlash(clean)
+	}
+	if !subtree {
+		return loader.LoadPaths([]string{ipath})
+	}
+	// Subtree: enumerate directories below it.
+	relDir := strings.TrimPrefix(strings.TrimPrefix(ipath, modPath), "/")
+	var paths []string
+	base := filepath.Join(root, filepath.FromSlash(relDir))
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		rel, _ := filepath.Rel(root, path)
+		if hasGo(path) {
+			paths = append(paths, modPath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return loader.LoadPaths(paths)
+}
+
+func hasGo(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// rel renders a diagnostic with a root-relative filename.
+func rel(root string, d lint.Diagnostic) string {
+	pos := d.Position
+	if r, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		pos.Filename = r
+	}
+	return fmt.Sprintf("%s: %s (%s)", pos, d.Message, d.Analyzer)
+}
+
+// vetConfig is the JSON unit description cmd/go hands a vettool.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	ModulePath                string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vettool analyzes one build unit the way x/tools' unitchecker does:
+// parse the unit's files, type-check against the export data cmd/go
+// already produced, run the suite, print findings to stderr.
+func vettool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hgwlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// cmd/go caches vet results keyed on the output file; it must exist
+	// even though hgwlint exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("hgwlint"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: vetImporter{gc: gc, importMap: cfg.ImportMap},
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	mod := cfg.ModulePath
+	if mod == "" {
+		mod = "hgw"
+	}
+	pkg := &lint.Package{
+		PkgPath:   cfg.ImportPath,
+		Dir:       cfg.Dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+		LocalFunc: func(tp *types.Package) bool {
+			return tp.Path() == mod || strings.HasPrefix(tp.Path(), mod+"/")
+		},
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Position, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+type vetImporter struct {
+	gc        types.Importer
+	importMap map[string]string
+}
+
+func (v vetImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := v.importMap[path]; ok {
+		path = mapped
+	}
+	return v.gc.Import(path)
+}

@@ -1,0 +1,64 @@
+package hgw_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"hgw"
+)
+
+// TestDropsRenderDeterministic pins the detlint invariant on the drop
+// renders: two equal-seed runs of the experiments whose output embeds
+// FormatDrops (the quirks and natmap lines) must render byte-identically
+// even though the counters live in maps.
+func TestDropsRenderDeterministic(t *testing.T) {
+	opts := []hgw.Option{
+		hgw.WithTags("je", "ls1", "owrt"),
+		hgw.WithSeed(1234),
+		hgw.WithIterations(1),
+	}
+	ids := []string{"quirks", "natmap"}
+	var renders [2]string
+	for i := range renders {
+		results, err := hgw.Run(context.Background(), ids, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		renders[i] = results.Render()
+	}
+	if renders[0] != renders[1] {
+		t.Errorf("equal-seed drop renders differ\n--- first ---\n%s\n--- second ---\n%s",
+			renders[0], renders[1])
+	}
+}
+
+// TestFormatDropsOrderInsensitive feeds FormatDrops maps populated in
+// different insertion orders and expects one canonical rendering.
+func TestFormatDropsOrderInsensitive(t *testing.T) {
+	const want = "tcp-no-binding:2,udp-filtered:7,udp-no-binding:1"
+	forward := map[string]int{"udp-no-binding": 1, "udp-filtered": 7, "tcp-no-binding": 2}
+	backward := make(map[string]int)
+	backward["tcp-no-binding"] = 2
+	backward["udp-filtered"] = 7
+	backward["udp-no-binding"] = 1
+	for i, m := range []map[string]int{forward, backward} {
+		if got := hgw.FormatDrops(m); got != want {
+			t.Errorf("order %d: FormatDrops = %q, want %q", i, got, want)
+		}
+	}
+	if got := hgw.FormatDrops(nil); got != "-" {
+		t.Errorf("FormatDrops(nil) = %q, want -", got)
+	}
+	// A larger map exercises real randomized iteration order.
+	big := make(map[string]int)
+	for i := 0; i < 64; i++ {
+		big[fmt.Sprintf("reason-%02d", i)] = i
+	}
+	first := hgw.FormatDrops(big)
+	for i := 0; i < 8; i++ {
+		if got := hgw.FormatDrops(big); got != first {
+			t.Fatalf("FormatDrops unstable across calls: %q vs %q", got, first)
+		}
+	}
+}

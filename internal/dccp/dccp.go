@@ -107,18 +107,22 @@ func (st *Stack) allocPort() uint16 {
 		if st.nextPort < 1024 {
 			st.nextPort = 45000
 		}
-		used := false
-		for k := range st.conns {
-			if k.lport == p {
-				used = true
-				break
-			}
-		}
-		if !used {
+		if !st.portUsed(p) {
 			return p
 		}
 	}
 	return 0
+}
+
+// portUsed reports whether any connection occupies local port p. The
+// early return makes the map iteration order-insensitive.
+func (st *Stack) portUsed(p uint16) bool {
+	for k := range st.conns {
+		if k.lport == p {
+			return true
+		}
+	}
+	return false
 }
 
 func (st *Stack) nextSeq() uint64 {

@@ -48,6 +48,7 @@ func TestMaskLen(t *testing.T) {
 		30: netpkt.Addr4(255, 255, 255, 252),
 		0:  netpkt.Addr4(0, 0, 0, 0),
 	}
+	//hgwlint:allow detlint per-entry assertions commute; any visit order fails the same way
 	for want, mask := range cases {
 		if got := MaskLen(mask); got != want {
 			t.Fatalf("MaskLen(%v) = %d, want %d", mask, got, want)

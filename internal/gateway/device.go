@@ -187,7 +187,7 @@ func (d *Device) rawWAN(in *stack.NetIf, ip *netpkt.IPv4) bool {
 		if !d.Profile.NAT.Hairpinning {
 			// A non-hairpinning NAT eats these; count the drop so the
 			// quirks probe's verdict is diagnosable.
-			d.Engine.CountDrop("hairpin-disabled")
+			d.Engine.CountDrop(nat.DropHairpinDisabled)
 			return true
 		}
 		if !d.Engine.Outbound(ip) {
@@ -510,6 +510,10 @@ func (d *Device) dnsProxyTCPConn(p *sim.Proc, c *tcp.Conn) {
 		}
 		buf = rest
 		switch mode {
+		case DNSTCPRefuse:
+			// Unreachable: the listener is only started when the mode
+			// is not DNSTCPRefuse (see startDNS); swallow if it ever is.
+			continue
 		case DNSTCPAcceptOnly:
 			// Swallow the query silently (the paper's accept-but-no-
 			// answer devices).

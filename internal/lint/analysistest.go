@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// This file is the fixture harness: a stdlib-only equivalent of
+// x/tools/go/analysis/analysistest. A fixture tree lives under
+// testdata/src/<importpath>/ and every expected diagnostic is written
+// as a trailing comment on the line it occurs on:
+//
+//	rand.Intn(6) // want `shared global generator`
+//
+// The string between backquotes (or double quotes) is a regular
+// expression matched against the diagnostic message. Lines with no
+// want comment must produce no diagnostic; every want comment must be
+// matched. //hgwlint:allow annotations are honored exactly as in
+// production, so fixtures exercise the allowlisting path too.
+
+// wantRe extracts the expectation from a // want comment.
+var wantRe = regexp.MustCompile("// want (`([^`]*)`|\"([^\"]*)\")")
+
+// expectation is one // want comment.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// FixtureResult is the outcome of running analyzers over a fixture:
+// mismatches lists human-readable failures (empty = pass).
+type FixtureResult struct {
+	Mismatches  []string
+	Diagnostics []Diagnostic
+}
+
+// RunFixture loads the fixture packages paths (relative to
+// testdata/src under dir) and checks analyzer a's diagnostics against
+// the // want comments.
+func RunFixture(a *Analyzer, dir string, paths ...string) (*FixtureResult, error) {
+	root := filepath.Join(dir, "testdata", "src")
+	loader := NewLoader(root, "")
+	pkgs, err := loader.LoadPaths(paths)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect expectations from every fixture file (re-parse with a
+	// fresh fileset: line numbers are all we need).
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		fset := token.NewFileSet()
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			parsed, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			for _, cg := range parsed.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pat := m[2]
+					if pat == "" {
+						pat = m[3]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", name, pat, err)
+					}
+					wants = append(wants, &expectation{
+						file:    name,
+						line:    fset.Position(c.Pos()).Line,
+						pattern: re,
+					})
+				}
+			}
+		}
+	}
+
+	res := &FixtureResult{Diagnostics: diags}
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Position.Filename && w.line == d.Position.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			res.Mismatches = append(res.Mismatches, fmt.Sprintf("unexpected diagnostic at %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			res.Mismatches = append(res.Mismatches,
+				fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern))
+		}
+	}
+	sort.Strings(res.Mismatches)
+	return res, nil
+}
+
+// Failf formats the mismatches for test output.
+func (r *FixtureResult) Failf() string {
+	return strings.Join(r.Mismatches, "\n")
+}

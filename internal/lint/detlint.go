@@ -1,0 +1,367 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetLint enforces DESIGN.md §8: equal-seed runs must be byte-identical.
+// In the simulation/render/figure code paths it forbids the three ways
+// nondeterminism has historically leaked into measurement systems:
+//
+//   - wall-clock reads (time.Now / time.Since / time.Until) — virtual
+//     time comes from sim.Sim, never from the host;
+//   - the shared top-level math/rand generators (rand.Intn, rand.Float64,
+//     ...) — randomness must flow from a seeded *rand.Rand threaded
+//     through options (rand.New / rand.NewSource are fine);
+//   - iteration over a map whose visit order can reach an output: any
+//     `range` over a map must either be order-insensitive (only
+//     commutative updates: counter bumps, map writes, deletes) or follow
+//     the collect-and-sort idiom (append keys to a slice that is
+//     provably sorted later in the same function).
+//
+// The operational layers are exempt: cmd/ (process entry points stamp
+// real timestamps), internal/service (job wall-clock accounting) and
+// internal/lint itself. Everything else in the module is a deterministic
+// code path.
+var DetLint = &Analyzer{
+	Name: "detlint",
+	Doc:  "forbid wall-clock, global math/rand and order-dependent map iteration in deterministic code paths",
+	Run:  runDetLint,
+}
+
+// detExempt lists the package paths (exact, or prefix when ending in
+// "/") that may read wall clocks and use unordered iteration: the
+// operational edge of the system, outside the equal-seed contract.
+var detExempt = []string{
+	"hgw/cmd/",
+	"hgw/internal/service",
+	"hgw/internal/lint",
+}
+
+func detExempted(pkgPath string) bool {
+	// Normalize the test variants cmd/go hands the vettool mode:
+	// "pkg [pkg.test]" (in-package tests) and "pkg_test [pkg.test]"
+	// (external test packages) share pkg's exemption.
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	pkgPath = strings.TrimSuffix(pkgPath, "_test")
+	for _, e := range detExempt {
+		if strings.HasSuffix(e, "/") {
+			if strings.HasPrefix(pkgPath, e) {
+				return true
+			}
+		} else if pkgPath == e {
+			return true
+		}
+	}
+	return false
+}
+
+// wallClockFuncs are the time package functions that read the host
+// clock. time.Duration arithmetic and constants remain fine.
+var wallClockFuncs = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
+// randAllowed are the package-level math/rand functions that do not
+// touch the shared global generator.
+var randAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runDetLint(pass *Pass) error {
+	if detExempted(pass.PkgPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// funcs collects every function body in the file so the
+		// map-range check can search an enclosing function for the
+		// collect-and-sort idiom.
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkDetSelector(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkDetRanges(pass, n.Body)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDetSelector flags wall-clock reads and global math/rand use.
+func checkDetSelector(pass *Pass, sel *ast.SelectorExpr) {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Only package-level functions accessed through the package name
+	// count: methods on *rand.Rand or on time.Time values are fine.
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); !isPkg {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs["time."+fn.Name()] {
+			pass.Reportf(sel.Pos(), "%s reads the wall clock in a deterministic code path; use sim virtual time (or annotate)", "time."+fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randAllowed[fn.Name()] {
+			pass.Reportf(sel.Pos(), "rand.%s draws from the shared global generator; thread a seeded *rand.Rand instead", fn.Name())
+		}
+	}
+}
+
+// checkDetRanges flags order-dependent map iteration inside one
+// function body (FuncLit bodies are visited as part of the enclosing
+// declaration; the sort search stays within the innermost function).
+func checkDetRanges(pass *Pass, body *ast.BlockStmt) {
+	// Walk with an explicit stack of innermost function bodies so that
+	// the collect-and-sort search scopes to the function containing the
+	// loop.
+	var walk func(n ast.Node, fn *ast.BlockStmt)
+	walk = func(n ast.Node, fn *ast.BlockStmt) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				walk(m.Body, m.Body)
+				return false
+			case *ast.RangeStmt:
+				t := pass.TypesInfo.TypeOf(m.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(pass, m, fn)
+			}
+			return true
+		})
+	}
+	walk(body, body)
+}
+
+// checkMapRange decides whether one map-range statement can influence
+// output ordering. fn is the innermost enclosing function body, used to
+// look for sorts of collected keys after the loop.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, fn *ast.BlockStmt) {
+	needSort := make(map[types.Object]bool)
+	if !orderInsensitiveStmts(pass, rs.Body.List, rs.Body, needSort) {
+		pass.Reportf(rs.Pos(), "iteration over map %s is order-dependent; collect and sort the keys, restructure into commutative updates, or annotate", exprString(rs.X))
+		return
+	}
+	for obj := range needSort {
+		if !sortedLater(pass, fn, rs, obj) {
+			pass.Reportf(rs.Pos(), "map iteration appends to %q which is never sorted in this function; sort it before use or annotate", obj.Name())
+			return
+		}
+	}
+}
+
+// orderInsensitiveStmts reports whether executing stmts once per map
+// entry gives a result independent of visit order. Allowed: commutative
+// compound assignments, writes keyed by unique map keys, deletes,
+// declarations and assignments local to the loop body, continue, and
+// returns of constants (existence predicates). Appends to variables
+// declared outside the loop are allowed conditionally: the caller must
+// find a sort of each such variable after the loop (collect-and-sort).
+func orderInsensitiveStmts(pass *Pass, stmts []ast.Stmt, loopBody *ast.BlockStmt, needSort map[types.Object]bool) bool {
+	for _, s := range stmts {
+		if !orderInsensitiveStmt(pass, s, loopBody, needSort) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *Pass, s ast.Stmt, loopBody *ast.BlockStmt, needSort map[types.Object]bool) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return orderInsensitiveAssign(pass, s, loopBody, needSort)
+	case *ast.IncDecStmt:
+		return true
+	case *ast.DeclStmt:
+		return true
+	case *ast.ExprStmt:
+		// Only the delete builtin is known to commute.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil && !orderInsensitiveStmt(pass, s.Init, loopBody, needSort) {
+			return false
+		}
+		if !orderInsensitiveStmts(pass, s.Body.List, loopBody, needSort) {
+			return false
+		}
+		if s.Else != nil {
+			return orderInsensitiveStmt(pass, s.Else, loopBody, needSort)
+		}
+		return true
+	case *ast.BlockStmt:
+		return orderInsensitiveStmts(pass, s.List, loopBody, needSort)
+	case *ast.BranchStmt:
+		// continue skips to the next entry: fine. break/goto make the
+		// set of visited entries order-dependent.
+		return s.Tok == token.CONTINUE
+	case *ast.ReturnStmt:
+		// Returning constants (existence predicates: `return true`) is
+		// order-independent; returning data picked from the iteration
+		// is not.
+		for _, r := range s.Results {
+			tv, ok := pass.TypesInfo.Types[r]
+			if !ok || (tv.Value == nil && !tv.IsNil()) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func orderInsensitiveAssign(pass *Pass, as *ast.AssignStmt, loopBody *ast.BlockStmt, needSort map[types.Object]bool) bool {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		return true // commutative accumulation
+	case token.DEFINE:
+		return true // fresh binding per iteration
+	case token.ASSIGN:
+		for i, lhs := range as.Lhs {
+			switch lhs := lhs.(type) {
+			case *ast.IndexExpr:
+				// m[k] = v: each map key is visited once, so keyed
+				// writes commute.
+				t := pass.TypesInfo.TypeOf(lhs.X)
+				if t == nil {
+					return false
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return false
+				}
+			case *ast.Ident:
+				if lhs.Name == "_" {
+					continue
+				}
+				obj := pass.TypesInfo.Uses[lhs]
+				if obj == nil {
+					return false
+				}
+				if loopBody.Pos() <= obj.Pos() && obj.Pos() <= loopBody.End() {
+					continue // loop-local temporary
+				}
+				// x = append(x, ...) escapes order into a slice: allowed
+				// iff the slice is sorted later (collect-and-sort).
+				if len(as.Rhs) == len(as.Lhs) && isAppendTo(pass, as.Rhs[i], obj) {
+					needSort[obj] = true
+					continue
+				}
+				return false
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// isAppendTo reports whether e is `append(x, ...)` for the variable x.
+func isAppendTo(pass *Pass, e ast.Expr, x types.Object) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	base, ok := call.Args[0].(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[base] == x
+}
+
+// sortedLater reports whether obj is passed to a recognized sorting
+// call somewhere after the range statement in the enclosing function
+// body: sort.* and slices.Sort* by package, otherwise any call whose
+// name mentions sorting (local helpers).
+func sortedLater(pass *Pass, fn *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		usesObj := false
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				usesObj = true
+				break
+			}
+		}
+		if !usesObj {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && f.Pkg() != nil {
+				switch f.Pkg().Path() {
+				case "sort", "slices":
+					found = true
+				default:
+					if strings.Contains(strings.ToLower(f.Name()), "sort") {
+						found = true
+					}
+				}
+			}
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(fun.Name), "sort") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders a short source form of e for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "<expr>"
+	}
+}

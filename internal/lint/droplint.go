@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DropLint typo-proofs the per-probe drop accounting that PR 5 surfaced
+// in QuirkResult/NATMapResult: every drop reason must be one of the
+// declared nat.DropReason constants from the single registry
+// (internal/nat/dropreason.go), never an ad-hoc string literal. A
+// misspelled literal ("udp-no-bindng") would otherwise count drops
+// under a reason nothing ever reads.
+//
+// Three rules:
+//
+//   - a string literal implicitly converted to a DropReason type (an
+//     argument to Engine.drop/CountDrop, a case value, a map key of
+//     Drops) is flagged — except inside the const declaration block
+//     that IS the registry;
+//   - an explicit DropReason("...") conversion of a literal is flagged
+//     the same way;
+//   - indexing a field or variable named Drops with a raw string
+//     literal is flagged even when the map is a plain map[string]int
+//     snapshot (DropCounts copies, result payloads), because that is
+//     exactly where typos hide.
+var DropLint = &Analyzer{
+	Name: "droplint",
+	Doc:  "drop reasons must be declared DropReason constants from the registry, not string literals",
+	Run:  runDropLint,
+}
+
+// isDropReasonType reports whether t is (or points to) a defined type
+// named DropReason.
+func isDropReasonType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj() != nil && named.Obj().Name() == "DropReason"
+}
+
+func runDropLint(pass *Pass) error {
+	for _, file := range pass.Files {
+		// The registry exemption: literals inside a const declaration
+		// whose declared type (or value type) is DropReason.
+		registryLits := make(map[*ast.BasicLit]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			gd, ok := n.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil || !isDropReasonType(obj.Type()) {
+						continue
+					}
+					if i < len(vs.Values) {
+						if lit, ok := vs.Values[i].(*ast.BasicLit); ok {
+							registryLits[lit] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+
+		// claimed marks literals already reported (or deliberately
+		// skipped) by a parent node's rule, so the generic BasicLit rule
+		// below does not double-report them; ast.Inspect visits parents
+		// before children, which makes one walk sufficient.
+		claimed := make(map[*ast.BasicLit]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if n.Kind != token.STRING || registryLits[n] || claimed[n] {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[n]; ok && isDropReasonType(tv.Type) {
+					pass.Reportf(n.Pos(), "drop reason %s is an ad-hoc string literal; use a declared DropReason constant from the registry", n.Value)
+				}
+			case *ast.CallExpr:
+				// Explicit conversion DropReason("...").
+				if len(n.Args) != 1 {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[n.Fun]
+				if !ok || !tv.IsType() || !isDropReasonType(tv.Type) {
+					return true
+				}
+				if lit, ok := n.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING && !registryLits[lit] {
+					claimed[lit] = true
+					pass.Reportf(lit.Pos(), "drop reason %s is converted from a string literal; use a declared DropReason constant from the registry", lit.Value)
+				}
+			case *ast.IndexExpr:
+				lit, ok := n.Index.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				if dropsExpr(n.X) {
+					claimed[lit] = true
+					pass.Reportf(lit.Pos(), "indexing Drops with string literal %s; use a declared DropReason constant (string(nat.Drop...)) so typos cannot silently count under a dead reason", lit.Value)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// dropsExpr reports whether e names a drop-counter map: an identifier
+// or field selector called Drops.
+func dropsExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == "Drops"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "Drops"
+	}
+	return false
+}

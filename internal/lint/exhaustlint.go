@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustLint keeps every switch over a module-local enum honest as new
+// behavior constants land: a switch whose tag is an enum type — a
+// defined integer/string type with at least two package-level constants
+// of exactly that type, declared in a package of this module — must
+// either cover every declared constant value or carry a default clause
+// with at least one statement (one that fails loudly rather than
+// silently swallowing a new RFC 4787/5382 axis value or job-lifecycle
+// state).
+//
+// This is what keeps `switch pol.Mapping`, `switch pol.Filtering`,
+// `switch pol.PortAlloc` and `switch job.Status` from silently
+// mis-handling a constant added by a later PR.
+var ExhaustLint = &Analyzer{
+	Name: "exhaustlint",
+	Doc:  "switches over module-local enum types must be exhaustive or carry a non-empty default",
+	Run:  runExhaustLint,
+}
+
+func runExhaustLint(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+// enumConstants returns the package-level constants of exactly type
+// named, or nil when named is not a module-local enum.
+func enumConstants(pass *Pass, named *types.Named) []*types.Const {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	if pass.Local == nil || !pass.Local(obj.Pkg()) {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	var consts []*types.Const
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			consts = append(consts, c)
+		}
+	}
+	if len(consts) < 2 {
+		return nil
+	}
+	return consts
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	t := pass.TypesInfo.TypeOf(sw.Tag)
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	consts := enumConstants(pass, named)
+	if consts == nil {
+		return
+	}
+
+	covered := make(map[string]bool) // by exact constant value
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	typeName := named.Obj().Pkg().Name() + "." + named.Obj().Name()
+	if defaultClause != nil {
+		if len(defaultClause.Body) == 0 {
+			pass.Reportf(defaultClause.Pos(), "switch over %s has an empty default: make it fail loudly (or enumerate every constant and drop it)", typeName)
+		}
+		return
+	}
+
+	var missing []string
+	seen := make(map[string]bool)
+	for _, c := range consts {
+		key := c.Val().ExactString()
+		if covered[key] || seen[key] {
+			continue
+		}
+		seen[key] = true
+		missing = append(missing, c.Name())
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(), "switch over %s is not exhaustive: missing %s (add the cases or a default that fails loudly)", typeName, strings.Join(missing, ", "))
+}

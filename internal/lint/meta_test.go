@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestModuleClean is the acceptance meta-test: the full hgwlint suite
+// over the entire module must report nothing. Every justified exception
+// in the tree carries an //hgwlint:allow annotation, so a new finding
+// here means either a real regression or a missing justification. It is
+// the in-process twin of the CI job running `hgwlint ./...`.
+func TestModuleClean(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modPath, err := ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(root, modPath)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the module walk looks broken", len(pkgs))
+	}
+	diags, err := Run(pkgs, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

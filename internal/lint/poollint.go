@@ -1,0 +1,330 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PoolLint enforces DESIGN.md §9: a pooled buffer or frame obtained
+// from netpkt.GetBuf / netpkt.GetFrame is owned by the scope that drew
+// it until it is handed to exactly one consumer. Within the function
+// that drew a pooled value it flags the escapes that break the
+// recycling contract:
+//
+//   - storing the raw value into a struct field, slice/map element or
+//     composite literal (retention past the owner's scope);
+//   - returning the raw value (ownership leaves without a Clone — the
+//     pool API itself transfers by convention and is annotated);
+//   - capturing the value in a closure (a callback scheduled on sim may
+//     run after the buffer was recycled);
+//   - calling netpkt.PutBuf on a buffer while a zero-copy view parsed
+//     from it in the same function is still used afterwards.
+//
+// netpkt.Clone severs aliasing: a cloned value is not tracked. The
+// sanctioned handoff — building a Frame and passing it to a send/
+// forward call — is untracked too (the frame travels as a call
+// argument, which transfers ownership).
+var PoolLint = &Analyzer{
+	Name: "poollint",
+	Doc:  "flag pooled netpkt buffers/frames escaping their ownership scope and premature PutBuf",
+	Run:  runPoolLint,
+}
+
+func runPoolLint(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			if isPoolAPI(pass, fd) {
+				return false
+			}
+			checkPoolFunc(pass, fd)
+			return false
+		})
+	}
+	return nil
+}
+
+// isPoolAPI reports whether fd is part of the pool implementation
+// itself (GetBuf returning a pooled buffer is its contract).
+func isPoolAPI(pass *Pass, fd *ast.FuncDecl) bool {
+	if !isNetpktPath(pass.PkgPath) {
+		return false
+	}
+	switch fd.Name.Name {
+	case "GetBuf", "PutBuf", "GetFrame", "PutFrame":
+		return fd.Recv == nil
+	}
+	return false
+}
+
+// isNetpktPath matches the packet-codec package in both the real module
+// (hgw/internal/netpkt) and the test fixtures (a package whose path
+// ends in "netpkt").
+func isNetpktPath(path string) bool {
+	return path == "netpkt" || strings.HasSuffix(path, "/netpkt")
+}
+
+// poolFunc recognizes calls to the pool/codec API by function name and
+// defining package.
+func poolFunc(pass *Pass, call *ast.CallExpr) (name string, ok bool) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	default:
+		return "", false
+	}
+	fn, ok2 := obj.(*types.Func)
+	if !ok2 || fn.Pkg() == nil || !isNetpktPath(fn.Pkg().Path()) {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// checkPoolFunc analyzes one function declaration.
+func checkPoolFunc(pass *Pass, fd *ast.FuncDecl) {
+	// Pass 1: find tracked pooled values (idents assigned directly from
+	// GetBuf/GetFrame) and aliases (zero-copy views parsed from a
+	// tracked buffer, or subslices of one).
+	type source struct {
+		kind string // "buffer" or "frame"
+	}
+	tracked := make(map[types.Object]source)
+	// owner records the innermost function literal in which each
+	// tracked value was drawn (nil = the declaration's own body): a use
+	// in any *other* function literal is a capture.
+	owner := make(map[types.Object]*ast.FuncLit)
+	aliasOf := make(map[types.Object]types.Object) // view -> tracked buffer
+	propagate := func(as *ast.AssignStmt, curLit *ast.FuncLit) {
+		if len(as.Rhs) != 1 {
+			return
+		}
+		switch rhs := as.Rhs[0].(type) {
+		case *ast.CallExpr:
+			name, ok := poolFunc(pass, rhs)
+			if ok && (name == "GetBuf" || name == "GetFrame") && len(as.Lhs) == 1 {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok {
+					if obj := lhsObj(pass, id); obj != nil {
+						kind := "buffer"
+						if name == "GetFrame" {
+							kind = "frame"
+						}
+						tracked[obj] = source{kind: kind}
+						owner[obj] = curLit
+					}
+				}
+				return
+			}
+			// v, ok := netpkt.ParseX(buf): v aliases buf.
+			if ok && strings.HasPrefix(name, "Parse") {
+				var base types.Object
+				for _, arg := range rhs.Args {
+					if id, ok := arg.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							if _, isTracked := tracked[obj]; isTracked {
+								base = obj
+								break
+							}
+							if b, isAlias := aliasOf[obj]; isAlias {
+								base = b
+								break
+							}
+						}
+					}
+				}
+				if base == nil {
+					return
+				}
+				for _, lhs := range as.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					if obj := lhsObj(pass, id); obj != nil {
+						if basic, ok := obj.Type().Underlying().(*types.Basic); ok && basic.Info()&types.IsBoolean != 0 {
+							continue // the ok result
+						}
+						aliasOf[obj] = base
+					}
+				}
+			}
+		case *ast.SliceExpr:
+			// p := buf[i:j] aliases buf.
+			if id, ok := rhs.X.(*ast.Ident); ok && len(as.Lhs) == 1 {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					base := obj
+					if b, isAlias := aliasOf[obj]; isAlias {
+						base = b
+					}
+					if _, isTracked := tracked[base]; isTracked {
+						if lid, ok := as.Lhs[0].(*ast.Ident); ok {
+							if lobj := lhsObj(pass, lid); lobj != nil {
+								aliasOf[lobj] = base
+							}
+						}
+					}
+				}
+			}
+		case *ast.Ident:
+			// b2 := buf propagates tracking.
+			if obj := pass.TypesInfo.Uses[rhs]; obj != nil && len(as.Lhs) == 1 {
+				if src, isTracked := tracked[obj]; isTracked {
+					if id, ok := as.Lhs[0].(*ast.Ident); ok {
+						if lobj := lhsObj(pass, id); lobj != nil {
+							tracked[lobj] = src
+							owner[lobj] = curLit
+						}
+					}
+				}
+			}
+		}
+	}
+	var scan func(n ast.Node, curLit *ast.FuncLit)
+	scan = func(n ast.Node, curLit *ast.FuncLit) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m != n {
+					scan(m.Body, m)
+					return false
+				}
+			case *ast.AssignStmt:
+				propagate(m, curLit)
+			}
+			return true
+		})
+	}
+	scan(fd.Body, nil)
+	if len(tracked) == 0 {
+		return
+	}
+
+	trackedIdent := func(e ast.Expr) (types.Object, string, bool) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil, "", false
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return nil, "", false
+		}
+		src, ok := tracked[obj]
+		return obj, src.kind, ok
+	}
+
+	// Pass 2: violations.
+	var walk func(n ast.Node, curLit *ast.FuncLit, captured map[types.Object]bool)
+	walk = func(n ast.Node, curLit *ast.FuncLit, captured map[types.Object]bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m == n {
+					return true
+				}
+				// Everything referenced inside runs later: report each
+				// pooled value drawn OUTSIDE this literal once, at its
+				// first use inside it.
+				walk(m.Body, m, make(map[types.Object]bool))
+				return false
+			case *ast.Ident:
+				if obj := pass.TypesInfo.Uses[m]; obj != nil && !captured[obj] {
+					if src, ok := tracked[obj]; ok && owner[obj] != curLit {
+						captured[obj] = true
+						pass.Reportf(m.Pos(), "pooled %s %q captured by closure: it may be recycled before the closure runs; Clone it or annotate the handoff", src.kind, m.Name)
+					}
+				}
+				return true
+			case *ast.AssignStmt:
+				for i, lhs := range m.Lhs {
+					if len(m.Rhs) != len(m.Lhs) {
+						break
+					}
+					obj, kind, ok := trackedIdent(m.Rhs[i])
+					if !ok {
+						continue
+					}
+					switch lhs.(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr:
+						pass.Reportf(m.Pos(), "pooled %s %q stored in %s escapes its ownership scope; Clone it first or annotate", kind, obj.Name(), exprString(lhs))
+					}
+				}
+				return true
+			case *ast.CompositeLit:
+				for _, elt := range m.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if obj, kind, ok := trackedIdent(v); ok {
+						pass.Reportf(v.Pos(), "pooled %s %q stored in composite literal escapes its ownership scope; Clone it first or annotate", kind, obj.Name())
+					}
+				}
+				return true
+			case *ast.ReturnStmt:
+				for _, r := range m.Results {
+					if obj, kind, ok := trackedIdent(r); ok {
+						pass.Reportf(r.Pos(), "returning pooled %s %q transfers ownership implicitly; Clone it, document the transfer with an annotation, or recycle locally", kind, obj.Name())
+					}
+				}
+				return true
+			case *ast.CallExpr:
+				name, ok := poolFunc(pass, m)
+				if !ok || name != "PutBuf" || len(m.Args) != 1 {
+					return true
+				}
+				obj, _, ok := trackedIdent(m.Args[0])
+				if !ok {
+					return true
+				}
+				// A parsed zero-copy view of obj used after this PutBuf
+				// means the recycled bytes are still reachable.
+				for view, base := range aliasOf {
+					if base != obj {
+						continue
+					}
+					if use := usedAfter(pass, fd.Body, m.End(), view); use.IsValid() {
+						pass.Reportf(m.Pos(), "PutBuf(%s) while zero-copy view %q parsed from it is still used at %s; recycle after the last use or Clone the view", obj.Name(), view.Name(), pass.Fset.Position(use))
+					}
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(fd.Body, nil, make(map[types.Object]bool))
+}
+
+// lhsObj resolves the object an assignment LHS ident binds or uses.
+func lhsObj(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// usedAfter returns the position of the first use of obj after pos in
+// body, or token.NoPos.
+func usedAfter(pass *Pass, body *ast.BlockStmt, pos token.Pos, obj types.Object) token.Pos {
+	var found token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found.IsValid() {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() <= pos {
+			return true
+		}
+		if pass.TypesInfo.Uses[id] == obj {
+			found = id.Pos()
+		}
+		return true
+	})
+	return found
+}

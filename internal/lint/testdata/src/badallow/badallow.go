@@ -1,0 +1,22 @@
+// Package badallow holds malformed hgwlint annotations. No want
+// comments here: TestAnnotationHygiene inspects the raw diagnostics,
+// because a want comment appended to an annotation line would become
+// part of the annotation's reason text.
+package badallow
+
+import "time"
+
+func MissingReason() time.Time {
+	//hgwlint:allow detlint
+	return time.Now()
+}
+
+func UnknownAnalyzer() int {
+	//hgwlint:allow speedlint because reasons
+	return 0
+}
+
+func Malformed() int {
+	//hgwlint:suppress detlint typo'd verb
+	return 0
+}

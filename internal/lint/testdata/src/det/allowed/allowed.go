@@ -1,0 +1,21 @@
+// Package allowed exercises the //hgwlint:allow annotation path: the
+// violations below are justified, so no diagnostics survive.
+package allowed
+
+import "time"
+
+func Startup() time.Time {
+	//hgwlint:allow detlint operator-facing log timestamp, outside the equal-seed contract
+	return time.Now()
+}
+
+func Newest(seen map[string]time.Time) time.Time {
+	var newest time.Time
+	//hgwlint:allow detlint max-reduction commutes even though the classifier cannot prove it
+	for _, t := range seen {
+		if t.After(newest) {
+			newest = t
+		}
+	}
+	return newest
+}

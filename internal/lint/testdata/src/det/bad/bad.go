@@ -1,0 +1,45 @@
+// Package bad holds detlint true positives: each flagged line carries
+// a want expectation.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() time.Time {
+	return time.Now() // want `reads the wall clock`
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `reads the wall clock`
+}
+
+func Jitter() int {
+	return rand.Intn(6) // want `shared global generator`
+}
+
+func Last(counts map[string]int) string {
+	var last string
+	for k := range counts { // want `order-dependent`
+		last = k
+	}
+	return last
+}
+
+func AnyKey(m map[string]int) (string, bool) {
+	for k := range m { // want `order-dependent`
+		if k != "" {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}

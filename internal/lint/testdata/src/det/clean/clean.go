@@ -1,0 +1,60 @@
+// Package clean holds detlint-legal idioms: commutative accumulation,
+// collect-and-sort, existence predicates, seeded generators.
+package clean
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func Render(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s:%d,", k, m[k])
+	}
+	return sb.String()
+}
+
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func Prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func Has(m map[string]bool, want bool) bool {
+	for _, v := range m {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+func Draw(r *rand.Rand) int { return r.Intn(6) }
+
+func Seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,18 @@
+// Package allowed exercises droplint's annotation path: a fuzz harness
+// that feeds unknown reasons on purpose.
+package allowed
+
+type DropReason string
+
+const DropShort DropReason = "short"
+
+type Engine struct {
+	Drops map[DropReason]int
+}
+
+func (e *Engine) drop(r DropReason) { e.Drops[r]++ }
+
+func Fuzz(e *Engine) {
+	//hgwlint:allow droplint the fuzz harness exercises unknown reasons deliberately
+	e.drop("fuzz-random")
+}

@@ -1,0 +1,30 @@
+// Package bad holds droplint true positives: ad-hoc literals where a
+// registry constant belongs, including the misspelling the analyzer
+// exists to catch.
+package bad
+
+type DropReason string
+
+const (
+	DropShort     DropReason = "short"
+	DropNoBinding DropReason = "no-binding"
+)
+
+type Engine struct {
+	Drops map[DropReason]int
+}
+
+func (e *Engine) drop(r DropReason) { e.Drops[r]++ }
+
+func (e *Engine) Misuse() {
+	e.drop("no-bindng")         // want `ad-hoc string literal`
+	e.drop(DropReason("bogus")) // want `converted from a string literal`
+}
+
+func Snapshot(counts map[string]int, e *Engine) int {
+	return counts["x"] + e.Drops["short"] // want `indexing Drops with string literal`
+}
+
+func StringSnapshot(drops map[string]int) int {
+	return drops["fine"] // a plain map not named Drops stays unchecked
+}

@@ -1,0 +1,33 @@
+// Package clean uses the drop-reason registry the sanctioned way:
+// declared constants everywhere, string conversion only for snapshots.
+package clean
+
+type DropReason string
+
+const (
+	DropShort     DropReason = "short"
+	DropNoBinding DropReason = "no-binding"
+)
+
+type Engine struct {
+	Drops map[DropReason]int
+}
+
+func (e *Engine) drop(r DropReason) { e.Drops[r]++ }
+
+func (e *Engine) Use() {
+	e.drop(DropShort)
+	e.drop(DropNoBinding)
+}
+
+func Snapshot(e *Engine) map[string]int {
+	out := make(map[string]int, len(e.Drops))
+	for k, v := range e.Drops {
+		out[string(k)] = v
+	}
+	return out
+}
+
+func Count(e *Engine) int {
+	return e.Drops[DropShort]
+}

@@ -1,0 +1,23 @@
+// Package allowed exercises exhaustlint's annotation path: a
+// subset-transition switch where untouched values keep their state on
+// purpose.
+package allowed
+
+type Mode int
+
+const (
+	ModeA Mode = iota
+	ModeB
+	ModeC
+)
+
+func Transition(m Mode) Mode {
+	//hgwlint:allow exhaustlint only the mutable modes transition; every other value keeps its state
+	switch m {
+	case ModeA:
+		return ModeB
+	case ModeB:
+		return ModeC
+	}
+	return m
+}

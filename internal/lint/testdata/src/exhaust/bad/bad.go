@@ -1,0 +1,32 @@
+// Package bad holds exhaustlint true positives: a switch missing a
+// constant and a switch with a silent default.
+package bad
+
+type Mode int
+
+const (
+	ModeA Mode = iota
+	ModeB
+	ModeC
+)
+
+func Name(m Mode) string {
+	switch m { // want `not exhaustive: missing ModeC`
+	case ModeA:
+		return "a"
+	case ModeB:
+		return "b"
+	}
+	return "?"
+}
+
+func Silent(m Mode) int {
+	switch m {
+	case ModeA:
+		return 1
+	case ModeB:
+		return 2
+	default: // want `empty default`
+	}
+	return 0
+}

@@ -1,0 +1,43 @@
+// Package clean holds exhaustlint-legal switches: full coverage,
+// grouped cases, and loud defaults.
+package clean
+
+type Mode int
+
+const (
+	ModeA Mode = iota
+	ModeB
+	ModeC
+)
+
+func Name(m Mode) string {
+	switch m {
+	case ModeA:
+		return "a"
+	case ModeB, ModeC:
+		return "bc"
+	}
+	return "?"
+}
+
+func Checked(m Mode) string {
+	switch m {
+	case ModeA:
+		return "a"
+	default:
+		panic("unhandled mode")
+	}
+}
+
+// NotAnEnum has a single constant, so switches over it are unchecked.
+type NotAnEnum int
+
+const OnlyValue NotAnEnum = 0
+
+func Single(v NotAnEnum) bool {
+	switch v {
+	case OnlyValue:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+// Command allowed sits under the hgw/cmd/ prefix, which detlint
+// exempts wholesale: process entry points stamp real timestamps.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now(), rand.Intn(6))
+}

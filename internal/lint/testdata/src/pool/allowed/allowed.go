@@ -1,0 +1,11 @@
+// Package allowed exercises poollint's annotation path: the return
+// below is a documented ownership transfer.
+package allowed
+
+import "netpkt"
+
+func NewFrame() *netpkt.Frame {
+	f := netpkt.GetFrame()
+	//hgwlint:allow poollint constructor transfers ownership to the caller by contract
+	return f
+}

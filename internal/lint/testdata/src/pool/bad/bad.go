@@ -1,0 +1,40 @@
+// Package bad holds poollint true positives: pooled values escaping
+// their ownership scope and a premature PutBuf.
+package bad
+
+import "netpkt"
+
+type Queue struct {
+	pending []byte
+	frame   *netpkt.Frame
+}
+
+func (q *Queue) Stash() {
+	b := netpkt.GetBuf(64)
+	q.pending = b // want `escapes its ownership scope`
+}
+
+func (q *Queue) StashFrame() {
+	f := netpkt.GetFrame()
+	q.frame = f // want `escapes its ownership scope`
+}
+
+func Leak() []byte {
+	b := netpkt.GetBuf(64)
+	return b // want `transfers ownership implicitly`
+}
+
+func Capture(run func(func())) {
+	f := netpkt.GetFrame()
+	run(func() {
+		f.Payload = nil // want `captured by closure`
+	})
+	netpkt.PutFrame(f)
+}
+
+func Premature() int {
+	b := netpkt.GetBuf(64)
+	u, _ := netpkt.ParseUDP(b)
+	netpkt.PutBuf(b) // want `still used at`
+	return len(u.Raw)
+}

@@ -143,7 +143,7 @@ func TestFilteringAddressDependent(t *testing.T) {
 	if inboundUDPFrom(e, dstB, 9000, ext) {
 		t.Fatal("ADF passed a different address")
 	}
-	if e.Drops["udp-filtered"] != 1 {
+	if e.Drops[DropUDPFiltered] != 1 {
 		t.Fatalf("drops: %v, want udp-filtered=1", e.Drops)
 	}
 }
@@ -161,7 +161,7 @@ func TestFilteringDefaultRequiresExactSession(t *testing.T) {
 	if !inboundUDPFrom(e, dstA, 7000, ext) {
 		t.Fatal("APDF rejected the exact session")
 	}
-	if e.Drops["udp-no-binding"] != 2 {
+	if e.Drops[DropUDPNoBinding] != 2 {
 		t.Fatalf("drops: %v, want udp-no-binding=2 (the pre-refactor counter)", e.Drops)
 	}
 }

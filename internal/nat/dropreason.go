@@ -1,0 +1,75 @@
+package nat
+
+// This file is the single registry of NAT drop reasons. Every drop the
+// engine (or the surrounding gateway, via CountDrop) accounts must use
+// one of these constants: hgwlint's droplint analyzer rejects ad-hoc
+// string literals wherever a DropReason is expected and wherever a
+// Drops map is indexed, so a typo cannot silently count packets under a
+// reason nothing ever reads. The string values are wire format for
+// renders and goldens (FormatDrops, testdata/behavior) — changing one
+// is a golden-visible change.
+
+// DropReason labels one class of packet the translation path refused.
+type DropReason string
+
+// DropNone is the zero DropReason: "not dropped". filterInbound returns
+// it alongside a non-nil binding; it is never counted and never renders.
+const DropNone DropReason = ""
+
+// The declared drop reasons, grouped by path.
+const (
+	// DropNoWAN: translation attempted before SetWAN installed the
+	// external address (pre-DHCP traffic).
+	DropNoWAN DropReason = "no-wan"
+
+	// UDP translation path.
+	DropUDPShort          DropReason = "udp-short"
+	DropUDPPortsExhausted DropReason = "udp-ports-exhausted"
+	DropUDPNoBinding      DropReason = "udp-no-binding"
+	DropUDPFiltered       DropReason = "udp-filtered"
+
+	// TCP translation path.
+	DropTCPShort          DropReason = "tcp-short"
+	DropTCPNoBinding      DropReason = "tcp-no-binding"
+	DropTCPFiltered       DropReason = "tcp-filtered"
+	DropTCPTableFull      DropReason = "tcp-table-full"
+	DropTCPPortsExhausted DropReason = "tcp-ports-exhausted"
+
+	// ICMP query and error translation (Table 2 modes).
+	DropICMPShort            DropReason = "icmp-short"
+	DropICMPIDsExhausted     DropReason = "icmp-ids-exhausted"
+	DropICMPNoBinding        DropReason = "icmp-no-binding"
+	DropICMPNotError         DropReason = "icmp-not-error"
+	DropICMPInnerUnparseable DropReason = "icmp-inner-unparseable"
+	DropICMPInnerShort       DropReason = "icmp-inner-short"
+	DropICMPInnerProto       DropReason = "icmp-inner-proto"
+	DropICMPErrorNoBinding   DropReason = "icmp-error-no-binding"
+	DropICMPPolicyDrop       DropReason = "icmp-policy-drop"
+	DropICMPUnhandled        DropReason = "icmp-unhandled"
+
+	// Unknown-transport fallback (§4.3).
+	DropUnknownProto       DropReason = "unknown-proto"
+	DropUnknownInboundDrop DropReason = "unknown-inbound-drop"
+	DropUnknownNoBinding   DropReason = "unknown-no-binding"
+	DropUnhandled          DropReason = "unhandled"
+
+	// Hairpin path (§2 related work; counted by the gateway device).
+	DropHairpinProto     DropReason = "hairpin-proto"
+	DropHairpinShort     DropReason = "hairpin-short"
+	DropHairpinNoBinding DropReason = "hairpin-no-binding"
+	DropHairpinDisabled  DropReason = "hairpin-disabled"
+)
+
+// AllDropReasons lists every declared reason, in registry order. Tests
+// assert the values are unique; renders sort, so order here is
+// documentation only.
+var AllDropReasons = []DropReason{
+	DropNoWAN,
+	DropUDPShort, DropUDPPortsExhausted, DropUDPNoBinding, DropUDPFiltered,
+	DropTCPShort, DropTCPNoBinding, DropTCPFiltered, DropTCPTableFull, DropTCPPortsExhausted,
+	DropICMPShort, DropICMPIDsExhausted, DropICMPNoBinding, DropICMPNotError,
+	DropICMPInnerUnparseable, DropICMPInnerShort, DropICMPInnerProto,
+	DropICMPErrorNoBinding, DropICMPPolicyDrop, DropICMPUnhandled,
+	DropUnknownProto, DropUnknownInboundDrop, DropUnknownNoBinding, DropUnhandled,
+	DropHairpinProto, DropHairpinShort, DropHairpinNoBinding, DropHairpinDisabled,
+}

@@ -1,0 +1,53 @@
+package nat
+
+import (
+	"strings"
+	"testing"
+
+	"hgw/internal/netpkt"
+	"hgw/internal/sim"
+)
+
+// TestDropReasonRegistryUnique pins the registry invariants droplint
+// builds on: every declared reason has a distinct non-empty wire value
+// and AllDropReasons is the complete enumeration.
+func TestDropReasonRegistryUnique(t *testing.T) {
+	seen := make(map[DropReason]bool, len(AllDropReasons))
+	for _, r := range AllDropReasons {
+		if r == DropNone {
+			t.Errorf("registry lists the empty sentinel %q", r)
+		}
+		if seen[r] {
+			t.Errorf("duplicate drop reason %q", r)
+		}
+		seen[r] = true
+		if strings.ContainsAny(string(r), " \t\n:,") {
+			t.Errorf("drop reason %q contains a separator FormatDrops uses", r)
+		}
+	}
+	if len(seen) < 25 {
+		t.Errorf("registry lists %d reasons, expected the full inventory (>= 25)", len(seen))
+	}
+}
+
+// TestDropCountsStringView checks the JSON-facing snapshot keeps plain
+// string keys while the live counter map is typed.
+func TestDropCountsStringView(t *testing.T) {
+	s := sim.New(1)
+	e := NewEngine(s, Policy{})
+	// No WAN configured: the first outbound packet counts DropNoWAN.
+	ip := &netpkt.IPv4{
+		Src: netpkt.Addr4(192, 168, 1, 2), Dst: netpkt.Addr4(8, 8, 8, 8),
+		Protocol: netpkt.ProtoUDP, Payload: make([]byte, 8),
+	}
+	if e.Outbound(ip) {
+		t.Fatal("outbound translated without a WAN address")
+	}
+	if e.Drops[DropNoWAN] != 1 {
+		t.Fatalf("Drops[DropNoWAN] = %d, want 1", e.Drops[DropNoWAN])
+	}
+	counts := e.DropCounts()
+	if counts[string(DropNoWAN)] != 1 {
+		t.Fatalf("DropCounts()[%q] = %d, want 1", DropNoWAN, counts[string(DropNoWAN)])
+	}
+}

@@ -173,8 +173,10 @@ type Engine struct {
 	phase      time.Duration // expiry-quantisation phase
 	tcpCount   int
 
-	// Counters by drop reason, for diagnostics and tests.
-	Drops map[string]int
+	// Counters by drop reason, for diagnostics and tests. Keys come
+	// from the DropReason registry (dropreason.go); droplint rejects
+	// ad-hoc literals.
+	Drops map[DropReason]int
 	// Translations counts successfully translated packets.
 	Translations int64
 }
@@ -193,7 +195,7 @@ func NewEngine(s *sim.Sim, pol Policy) *Engine {
 		quarantine: make(map[flowKey]quarEntry),
 		nextPort:   30000,
 		phase:      time.Duration(s.Rand().Int63n(int64(time.Minute))),
-		Drops:      make(map[string]int),
+		Drops:      make(map[DropReason]int),
 	}
 }
 
@@ -230,22 +232,23 @@ func (e *Engine) LookupMapping(proto uint8, client netip.Addr, cport uint16, ser
 	return m, ok
 }
 
-func (e *Engine) drop(reason string) {
+func (e *Engine) drop(reason DropReason) {
 	e.Drops[reason]++
 }
 
 // CountDrop lets the surrounding device attribute a drop it performs
 // on the engine's behalf (e.g. swallowing hairpin traffic when the
 // policy disables hairpinning) to the engine's per-reason counters.
-func (e *Engine) CountDrop(reason string) { e.drop(reason) }
+func (e *Engine) CountDrop(reason DropReason) { e.drop(reason) }
 
-// DropCounts returns a copy of the per-reason drop counters, so
-// callers (probes, result payloads) can snapshot them without aliasing
-// the live map.
+// DropCounts returns a copy of the per-reason drop counters as plain
+// strings, so callers (probes, result payloads) can snapshot them
+// without aliasing the live map and without the JSON shape changing
+// with the typed registry.
 func (e *Engine) DropCounts() map[string]int {
 	out := make(map[string]int, len(e.Drops))
 	for k, v := range e.Drops {
-		out[k] = v
+		out[string(k)] = v
 	}
 	return out
 }
@@ -378,6 +381,10 @@ func (e *Engine) allocPort(proto uint8, flow flowKey, desired uint16) uint16 {
 		e.lastContig = make(map[mapKey]uint16)
 	}
 	switch mode {
+	case PortAllocDefault, PortAllocPreserving, PortAllocSequential:
+		// Sequential scan below. (Default and preserving were resolved
+		// above: preservation either hit its port already or falls back
+		// to the scan, matching the legacy PortPreservation flag.)
 	case PortAllocRandom:
 		for i := 0; i < 64; i++ {
 			p := uint16(30000 + e.s.Rand().Intn(65536-30000))
@@ -534,7 +541,7 @@ func (e *Engine) refreshTCP(b *Binding, flags uint8, inbound bool) {
 // the packet must be dropped. The caller re-marshals the packet.
 func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
 	if !e.wan.IsValid() {
-		e.drop("no-wan")
+		e.drop(DropNoWAN)
 		return false
 	}
 	client := ip.Src
@@ -542,7 +549,7 @@ func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
 	case netpkt.ProtoUDP:
 		sport, dport, ok := netpkt.UDPPorts(ip.Payload)
 		if !ok {
-			e.drop("udp-short")
+			e.drop(DropUDPShort)
 			return false
 		}
 		flow := flowKey{netpkt.ProtoUDP, client, sport, ip.Dst, dport}
@@ -550,7 +557,7 @@ func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
 		if !ok {
 			b = e.newSession(flow)
 			if b == nil {
-				e.drop("udp-ports-exhausted")
+				e.drop(DropUDPPortsExhausted)
 				return false
 			}
 		}
@@ -575,7 +582,7 @@ func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
 	case netpkt.ProtoTCP:
 		sport, dport, ok := netpkt.TCPPorts(ip.Payload)
 		if !ok || len(ip.Payload) < 20 {
-			e.drop("tcp-short")
+			e.drop(DropTCPShort)
 			return false
 		}
 		flags := ip.Payload[13] & 0x3f
@@ -583,16 +590,16 @@ func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
 		b, ok := e.byFlow[flow]
 		if !ok {
 			if flags&netpkt.TCPSyn == 0 {
-				e.drop("tcp-no-binding")
+				e.drop(DropTCPNoBinding)
 				return false
 			}
 			if e.tcpCount >= e.pol.MaxTCPBindings {
-				e.drop("tcp-table-full")
+				e.drop(DropTCPTableFull)
 				return false
 			}
 			b = e.newSession(flow)
 			if b == nil {
-				e.drop("tcp-ports-exhausted")
+				e.drop(DropTCPPortsExhausted)
 				return false
 			}
 		}
@@ -612,7 +619,7 @@ func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
 	default:
 		switch e.pol.UnknownProto {
 		case UnknownDrop:
-			e.drop("unknown-proto")
+			e.drop(DropUnknownProto)
 			return false
 		case UnknownTranslateIPOnly:
 			flow := flowKey{ip.Protocol, client, 0, ip.Dst, 0}
@@ -632,7 +639,7 @@ func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
 			return true
 		}
 	}
-	e.drop("unhandled")
+	e.drop(DropUnhandled)
 	return false
 }
 
@@ -642,14 +649,19 @@ func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
 // port's mapping, conntrack-style — or (nil, reason) when the packet
 // must be dropped. Under the default address-and-port-dependent
 // filtering it rejects everything, exactly like the pre-refactor
-// engine (reason "no-binding", preserving the historical counter).
-func (e *Engine) filterInbound(proto uint8, ext uint16, src netip.Addr, sport uint16) (*Binding, string) {
+// engine (the per-protocol no-binding reason, preserving the
+// historical counters).
+func (e *Engine) filterInbound(proto uint8, ext uint16, src netip.Addr, sport uint16) (*Binding, DropReason) {
+	noBinding, filtered := DropUDPNoBinding, DropUDPFiltered
+	if proto == netpkt.ProtoTCP {
+		noBinding, filtered = DropTCPNoBinding, DropTCPFiltered
+	}
 	if e.pol.Filtering == FilteringAddressAndPortDependent {
-		return nil, "no-binding"
+		return nil, noBinding
 	}
 	o := e.portsInUse[portKey{proto, ext}]
 	if o == nil || len(o.mappings) == 0 {
-		return nil, "no-binding"
+		return nil, noBinding
 	}
 	// The mapping the new session joins: the arrival port's first
 	// mapping, or — under address-dependent filtering — the first
@@ -659,20 +671,13 @@ func (e *Engine) filterInbound(proto uint8, ext uint16, src netip.Addr, sport ui
 	if e.pol.Filtering == FilteringAddressDependent {
 		m = nil
 		for _, cand := range o.mappings {
-			match := false
-			for ep := range cand.sessions {
-				if ep.server == src {
-					match = true
-					break
-				}
-			}
-			if match {
+			if cand.hasSessionToward(src) {
 				m = cand
 				break
 			}
 		}
 		if m == nil {
-			return nil, "filtered"
+			return nil, filtered
 		}
 	}
 	flow := flowKey{proto, o.client, o.cport, src, sport}
@@ -680,14 +685,26 @@ func (e *Engine) filterInbound(proto uint8, ext uint16, src netip.Addr, sport ui
 		// The endpoint already talks to this remote through another
 		// mapping (its own external port): refresh that session rather
 		// than shadowing it.
-		return existing, ""
+		return existing, DropNone
 	}
 	if proto == netpkt.ProtoTCP && e.tcpCount >= e.pol.MaxTCPBindings {
-		return nil, "table-full"
+		return nil, DropTCPTableFull
 	}
 	b := e.addSession(m, flow)
 	b.inboundInitiated = true
-	return b, ""
+	return b, DropNone
+}
+
+// hasSessionToward reports whether the mapping holds a session whose
+// remote endpoint is the address src (any port). The early return makes
+// the map iteration order-insensitive.
+func (m *Mapping) hasSessionToward(src netip.Addr) bool {
+	for ep := range m.sessions {
+		if ep.server == src {
+			return true
+		}
+	}
+	return false
 }
 
 // Inbound translates a WAN-to-LAN packet in place. It returns false if
@@ -697,15 +714,15 @@ func (e *Engine) Inbound(ip *netpkt.IPv4) bool {
 	case netpkt.ProtoUDP:
 		sport, dport, ok := netpkt.UDPPorts(ip.Payload)
 		if !ok {
-			e.drop("udp-short")
+			e.drop(DropUDPShort)
 			return false
 		}
 		b, ok := e.byExt[extKey{netpkt.ProtoUDP, dport, ip.Src, sport}]
 		if !ok {
-			var reason string
+			var reason DropReason
 			b, reason = e.filterInbound(netpkt.ProtoUDP, dport, ip.Src, sport)
 			if b == nil {
-				e.drop("udp-" + reason)
+				e.drop(reason)
 				return false
 			}
 		}
@@ -727,15 +744,15 @@ func (e *Engine) Inbound(ip *netpkt.IPv4) bool {
 	case netpkt.ProtoTCP:
 		sport, dport, ok := netpkt.TCPPorts(ip.Payload)
 		if !ok || len(ip.Payload) < 20 {
-			e.drop("tcp-short")
+			e.drop(DropTCPShort)
 			return false
 		}
 		b, ok := e.byExt[extKey{netpkt.ProtoTCP, dport, ip.Src, sport}]
 		if !ok {
-			var reason string
+			var reason DropReason
 			b, reason = e.filterInbound(netpkt.ProtoTCP, dport, ip.Src, sport)
 			if b == nil {
-				e.drop("tcp-" + reason)
+				e.drop(reason)
 				return false
 			}
 		}
@@ -754,15 +771,17 @@ func (e *Engine) Inbound(ip *netpkt.IPv4) bool {
 
 	default:
 		switch e.pol.UnknownProto {
+		case UnknownDrop:
+			// Fall through to the drop below.
 		case UnknownTranslateIPOnly:
 			if e.pol.UnknownInboundDrop {
-				e.drop("unknown-inbound-drop")
+				e.drop(DropUnknownInboundDrop)
 				return false
 			}
 			// Find the session by protocol + server address.
 			b, ok := e.byExt[extKey{ip.Protocol, 0, ip.Src, 0}]
 			if !ok {
-				e.drop("unknown-no-binding")
+				e.drop(DropUnknownNoBinding)
 				return false
 			}
 			e.arm(b, e.pol.UDP.Bidir)
@@ -776,7 +795,7 @@ func (e *Engine) Inbound(ip *netpkt.IPv4) bool {
 			e.Translations++
 			return true
 		}
-		e.drop("unknown-proto")
+		e.drop(DropUnknownProto)
 		return false
 	}
 }
@@ -795,11 +814,11 @@ func (e *Engine) InboundHairpin(ip *netpkt.IPv4) bool {
 	case netpkt.ProtoTCP:
 		sport, dport, ok = netpkt.TCPPorts(ip.Payload)
 	default:
-		e.drop("hairpin-proto")
+		e.drop(DropHairpinProto)
 		return false
 	}
 	if !ok {
-		e.drop("hairpin-short")
+		e.drop(DropHairpinShort)
 		return false
 	}
 	// Endpoint-independent matching: the port-owner index resolves the
@@ -807,7 +826,7 @@ func (e *Engine) InboundHairpin(ip *netpkt.IPv4) bool {
 	// owner is unique per external port, so the result is identical).
 	o := e.portsInUse[portKey{ip.Protocol, dport}]
 	if o == nil {
-		e.drop("hairpin-no-binding")
+		e.drop(DropHairpinNoBinding)
 		return false
 	}
 	switch ip.Protocol {

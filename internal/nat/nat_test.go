@@ -315,8 +315,8 @@ func TestTCPBindingCap(t *testing.T) {
 	if e.TCPBindingCount() != 16 {
 		t.Fatalf("TCPBindingCount = %d", e.TCPBindingCount())
 	}
-	if e.Drops["tcp-table-full"] != 16 {
-		t.Fatalf("tcp-table-full drops = %d", e.Drops["tcp-table-full"])
+	if e.Drops[DropTCPTableFull] != 16 {
+		t.Fatalf("tcp-table-full drops = %d", e.Drops[DropTCPTableFull])
 	}
 }
 
@@ -562,7 +562,7 @@ func TestInboundWithoutBindingDropped(t *testing.T) {
 	if inboundUDP(e, 4444, 7000) {
 		t.Fatal("unsolicited inbound forwarded")
 	}
-	if e.Drops["udp-no-binding"] != 1 {
+	if e.Drops[DropUDPNoBinding] != 1 {
 		t.Fatalf("drops: %v", e.Drops)
 	}
 }

@@ -136,7 +136,11 @@ const (
 	KindNetUnreachable
 	KindPortUnreachable
 	KindProtoUnreachable
-	NumICMPKinds
+	// NumICMPKinds counts the probed kinds. Deliberately untyped (the
+	// explicit `= iota` drops the inherited ICMPKind type): it is an
+	// array length and loop bound, not a kind, so switches over
+	// ICMPKind need not — and must not — "cover" it.
+	NumICMPKinds = iota
 )
 
 // TypeCode returns the on-wire ICMP type and code for the kind.

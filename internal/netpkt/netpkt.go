@@ -98,6 +98,7 @@ func (f *Frame) Clone() *Frame {
 	g := GetFrame()
 	*g = *f
 	g.Payload = append(GetBuf(len(f.Payload)), f.Payload...)
+	//hgwlint:allow poollint Clone's documented contract is the ownership transfer: the caller owns the copy
 	return g
 }
 

@@ -434,6 +434,7 @@ func TestUint48(t *testing.T) {
 
 func TestProtoName(t *testing.T) {
 	cases := map[uint8]string{ProtoICMP: "icmp", ProtoTCP: "tcp", ProtoUDP: "udp", ProtoDCCP: "dccp", ProtoSCTP: "sctp", 99: "proto-99"}
+	//hgwlint:allow detlint per-entry assertions commute; any visit order fails the same way
 	for p, want := range cases {
 		if got := ProtoName(p); got != want {
 			t.Fatalf("ProtoName(%d) = %q, want %q", p, got, want)

@@ -106,18 +106,22 @@ func (st *Stack) allocPort() uint16 {
 		if st.nextPort < 1024 {
 			st.nextPort = 40000
 		}
-		used := false
-		for k := range st.assocs {
-			if k.lport == p {
-				used = true
-				break
-			}
-		}
-		if !used {
+		if !st.portUsed(p) {
 			return p
 		}
 	}
 	return 0
+}
+
+// portUsed reports whether any association occupies local port p. The
+// early return makes the map iteration order-insensitive.
+func (st *Stack) portUsed(p uint16) bool {
+	for k := range st.assocs {
+		if k.lport == p {
+			return true
+		}
+	}
+	return false
 }
 
 func (st *Stack) newTag() uint32 {

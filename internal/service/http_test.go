@@ -46,6 +46,7 @@ func getJob(t *testing.T, base, id string, d time.Duration) service.View {
 		if err != nil {
 			t.Fatal(err)
 		}
+		//hgwlint:allow exhaustlint polling loop: the non-terminal states fall through and poll again
 		switch v.Status {
 		case service.StatusDone, service.StatusFailed, service.StatusCanceled:
 			return v

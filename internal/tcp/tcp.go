@@ -745,6 +745,10 @@ func (c *Conn) segment(seg *netpkt.TCP) {
 			c.sendAck() // retransmitted FIN
 		}
 		return
+	case StateEstablished, StateFinWait1, StateFinWait2,
+		StateCloseWait, StateClosing, StateLastAck:
+		// Synchronized states: fall through to the common RST/ACK/
+		// payload/FIN processing below.
 	}
 
 	// RST: accept only if in-window (RFC 5961 spirit). The paper's ls2
@@ -876,6 +880,7 @@ func (c *Conn) processAck(seg *netpkt.TCP) {
 
 		// FIN acknowledged?
 		if c.finSent && ack == c.sndMax && c.sndNxt == c.sndMax {
+			//hgwlint:allow exhaustlint only the three FIN-in-flight states transition on the FIN's ack; all others keep their state
 			switch c.state {
 			case StateFinWait1:
 				c.state = StateFinWait2
@@ -982,6 +987,7 @@ func (c *Conn) processData(seg *netpkt.TCP) {
 		c.rcvNxt++
 		c.gotFin = true
 		c.finSeq = c.rcvNxt - 1
+		//hgwlint:allow exhaustlint a peer FIN only moves the three states that were still open to receive one; re-FIN in later states is a no-op
 		switch c.state {
 		case StateEstablished:
 			c.state = StateCloseWait

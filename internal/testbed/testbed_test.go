@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"hgw/internal/nat"
 	"hgw/internal/netpkt"
 	"hgw/internal/sim"
 )
@@ -187,7 +188,7 @@ func TestUnsolicitedInboundBlocked(t *testing.T) {
 	if got {
 		t.Fatal("unsolicited inbound datagram traversed the NAT")
 	}
-	if n.Dev.Engine.Drops["udp-no-binding"] == 0 {
+	if n.Dev.Engine.Drops[nat.DropUDPNoBinding] == 0 {
 		t.Fatal("drop not accounted")
 	}
 }

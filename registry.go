@@ -118,6 +118,7 @@ func RegistryInfo() []ExperimentInfo {
 		aliases[canonical] = append(aliases[canonical], alias)
 	}
 	regMu.RUnlock()
+	//hgwlint:allow detlint each alias list is sorted in place; per-key work commutes across iteration orders
 	for _, as := range aliases {
 		sort.Strings(as)
 	}
