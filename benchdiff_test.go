@@ -1,0 +1,134 @@
+package hgw_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// benchRow mirrors cmd/hgbench's benchEntry, the row shape of the
+// committed BENCH_pr<N>.json trajectory files.
+type benchRow struct {
+	Name     string `json:"name"`
+	NsPerOp  int64  `json:"ns_op"`
+	AllocsOp uint64 `json:"allocs_op"`
+	BytesOp  uint64 `json:"bytes_op"`
+	Err      string `json:"err,omitempty"`
+}
+
+// loadBench reads one trajectory file into a name-keyed map.
+func loadBench(t *testing.T, path string) map[string]benchRow {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	var rows []benchRow
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	out := make(map[string]benchRow, len(rows))
+	for _, r := range rows {
+		out[r.Name] = r
+	}
+	return out
+}
+
+// benchTrajectories returns the committed BENCH_pr<N>.json paths in
+// ascending PR order.
+func benchTrajectories(t *testing.T) []string {
+	t.Helper()
+	matches, err := filepath.Glob("BENCH_pr*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`^BENCH_pr(\d+)\.json$`)
+	type rec struct {
+		pr   int
+		path string
+	}
+	var recs []rec
+	for _, m := range matches {
+		sub := re.FindStringSubmatch(filepath.Base(m))
+		if sub == nil {
+			continue
+		}
+		pr, _ := strconv.Atoi(sub[1])
+		recs = append(recs, rec{pr, m})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].pr < recs[j].pr })
+	paths := make([]string, len(recs))
+	for i, r := range recs {
+		paths[i] = r.path
+	}
+	return paths
+}
+
+// TestBenchTrajectory is the cross-PR perf regression gate over the
+// committed trajectory files (the record the ROADMAP asks every PR to
+// extend). It diffs the two newest BENCH_pr<N>.json files — fleet rows
+// fail on a >20% ns/op regression or any allocs/op regression — and
+// asserts, within the newest file, that the sharded fleet sweep still
+// beats the single-shard baseline on wall clock (the multicore shard
+// pipeline's reason to exist; sharding wins even single-core because
+// per-shard event queues and broadcast domains stay small). The test
+// reads only committed files, so it is deterministic and costs no
+// benchmark time in CI.
+func TestBenchTrajectory(t *testing.T) {
+	paths := benchTrajectories(t)
+	if len(paths) == 0 {
+		t.Skip("no BENCH_pr*.json trajectories committed")
+	}
+	newestPath := paths[len(paths)-1]
+	newest := loadBench(t, newestPath)
+
+	// The newest trajectory must carry the fleet scaling rows, and
+	// sharding must still pay: s8 beats s1 wall clock.
+	const s1Name, s8Name = "hgbench/fleet/udp1/d2048/s1", "hgbench/fleet/udp1/d2048/s8"
+	s1, ok1 := newest[s1Name]
+	s8, ok8 := newest[s8Name]
+	if !ok1 || !ok8 {
+		t.Fatalf("%s lacks the fleet scaling rows %s / %s; regenerate with hgbench -benchjson",
+			newestPath, s1Name, s8Name)
+	}
+	if s1.Err != "" || s8.Err != "" {
+		t.Fatalf("%s: fleet bench rows recorded errors: s1=%q s8=%q", newestPath, s1.Err, s8.Err)
+	}
+	if s8.NsPerOp >= s1.NsPerOp {
+		t.Errorf("%s: 8-shard fleet sweep (%d ns) is not faster than single-shard (%d ns)",
+			newestPath, s8.NsPerOp, s1.NsPerOp)
+	}
+
+	if len(paths) < 2 {
+		t.Logf("only one trajectory (%s); nothing to diff against", newestPath)
+		return
+	}
+	prevPath := paths[len(paths)-2]
+	prev := loadBench(t, prevPath)
+	//hgwlint:allow detlint per-row assertions commute; any visit order fails the same way
+	for name, cur := range newest {
+		if !strings.HasPrefix(name, "hgbench/fleet/") {
+			// Inventory rows run at paper-scale wall clocks that vary
+			// with the recording machine; the fleet rows are the
+			// regression contract.
+			continue
+		}
+		old, ok := prev[name]
+		if !ok || old.Err != "" || cur.Err != "" {
+			continue
+		}
+		if cur.NsPerOp*100 > old.NsPerOp*120 {
+			t.Errorf("%s: %s regressed >20%% ns/op: %d -> %d (vs %s)",
+				newestPath, name, old.NsPerOp, cur.NsPerOp, prevPath)
+		}
+		if cur.AllocsOp > old.AllocsOp {
+			t.Errorf("%s: %s regressed allocs/op: %d -> %d (vs %s)",
+				newestPath, name, old.AllocsOp, cur.AllocsOp, prevPath)
+		}
+	}
+}

@@ -75,6 +75,46 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 	}
 }
 
+// TestCacheKeyFleetIgnoresParallelism proves hit-equivalence across
+// core counts for fleet jobs: shard execution renders byte-identically
+// at any parallelism or maxProcs, so hgwd must answer the same fleet
+// job submitted from differently-sized machines out of one cache
+// entry. Inventory keys still fold parallelism in (lane assignment
+// depends on it — the "parallelism matters" case above).
+func TestCacheKeyFleetIgnoresParallelism(t *testing.T) {
+	fleet := []hgw.Option{hgw.WithSeed(1), hgw.WithFleet(64), hgw.WithShards(4)}
+	base, err := hgw.CacheKey([]string{"udp1"}, fleet...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := []struct {
+		name string
+		opt  hgw.Option
+	}{
+		{"parallelism 1", hgw.WithParallelism(1)},
+		{"parallelism 16", hgw.WithParallelism(16)},
+		{"maxprocs 1", hgw.WithMaxProcs(1)},
+		{"maxprocs 64", hgw.WithMaxProcs(64)},
+	}
+	for _, tc := range same {
+		got, err := hgw.CacheKey([]string{"udp1"}, append(append([]hgw.Option{}, fleet...), tc.opt)...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != base {
+			t.Errorf("%s: fleet key %s != base %s; identical fleet jobs would miss the cache", tc.name, got, base)
+		}
+	}
+	// The knobs that do change fleet output still change the key.
+	shards, err := hgw.CacheKey([]string{"udp1"}, hgw.WithSeed(1), hgw.WithFleet(64), hgw.WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards == base {
+		t.Error("shard count canonicalized away; it decides the device partition")
+	}
+}
+
 func TestCacheKeyDefaultIDs(t *testing.T) {
 	empty, err := hgw.CacheKey(nil)
 	if err != nil {

@@ -33,6 +33,7 @@ var (
 	csvOut   = flag.Bool("csv", false, "emit Table 2 as CSV instead of the dot matrix")
 	fleet    = flag.Int("fleet", 0, "fleet mode: measure N synthetic devices instead of the 34-device inventory")
 	shards   = flag.Int("shards", 1, "partition the fleet across K concurrent sub-testbeds")
+	maxprocs = flag.Int("maxprocs", 0, "max concurrent fleet shard workers (0 = NumCPU; output is identical at any value)")
 
 	benchjson = flag.Bool("benchjson", false, "run each experiment as a benchmark and write a JSON trajectory file instead of rendering")
 	benchout  = flag.String("benchout", "BENCH_pr.json", "output path for the -benchjson trajectory file")
@@ -52,8 +53,18 @@ type benchEntry struct {
 	Timestamp string             `json:"timestamp"`
 }
 
+// fleetBenchShards are the shard counts of the fleet scaling rows a
+// default -benchjson run appends: hgbench/fleet/udp1/d2048/s{1,8,32}.
+// The cross-PR regression test (benchdiff_test.go) reads these rows to
+// assert sharding keeps beating the single-shard baseline.
+var fleetBenchShards = []int{1, 8, 32}
+
 // runBenchJSON runs every experiment individually, measuring wall
 // clock and allocator traffic per run, and writes the trajectory file.
+// Unless the caller benched an explicit fleet, a fleet scaling sweep
+// (2048 synthetic devices at 1, 8 and 32 shards) is appended so the
+// trajectory records multicore shard throughput alongside the
+// inventory rows.
 func runBenchJSON(ids []string, opts []hgw.Option) error {
 	if len(ids) == 0 {
 		for _, e := range hgw.Registry() {
@@ -61,17 +72,17 @@ func runBenchJSON(ids []string, opts []hgw.Option) error {
 		}
 	}
 	stamp := time.Now().UTC().Format(time.RFC3339)
-	entries := make([]benchEntry, 0, len(ids))
+	var entries []benchEntry
 	var before, after runtime.MemStats
-	for _, id := range ids {
+	bench := func(name string, runIDs []string, runOpts []hgw.Option) {
 		runtime.GC()
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		results, err := hgw.Run(context.Background(), []string{id}, opts...)
+		results, err := hgw.Run(context.Background(), runIDs, runOpts...)
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&after)
 		e := benchEntry{
-			Name:      "hgbench/" + id,
+			Name:      name,
 			NsPerOp:   elapsed.Nanoseconds(),
 			AllocsOp:  after.Mallocs - before.Mallocs,
 			BytesOp:   after.TotalAlloc - before.TotalAlloc,
@@ -85,7 +96,22 @@ func runBenchJSON(ids []string, opts []hgw.Option) error {
 			}
 		}
 		entries = append(entries, e)
-		fmt.Fprintf(os.Stderr, "%-24s %12d ns/op %10d allocs/op\n", e.Name, e.NsPerOp, e.AllocsOp)
+		fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %10d allocs/op\n", e.Name, e.NsPerOp, e.AllocsOp)
+	}
+	for _, id := range ids {
+		bench("hgbench/"+id, []string{id}, opts)
+	}
+	if *fleet == 0 {
+		for _, sh := range fleetBenchShards {
+			fopts := []hgw.Option{
+				hgw.WithSeed(*seed), hgw.WithIterations(1),
+				hgw.WithFleet(2048), hgw.WithShards(sh),
+			}
+			if *maxprocs > 0 {
+				fopts = append(fopts, hgw.WithMaxProcs(*maxprocs))
+			}
+			bench(fmt.Sprintf("hgbench/fleet/udp1/d2048/s%d", sh), []string{"udp1"}, fopts)
+		}
 	}
 	out, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
@@ -116,6 +142,9 @@ func main() {
 		// Fleet mode: synthetic population, sharded testbeds. With -exp
 		// unset the run covers hgw.FleetIDs (the UDP-1/2/3 sweeps).
 		opts = append(opts, hgw.WithFleet(*fleet), hgw.WithShards(*shards))
+	}
+	if *maxprocs > 0 {
+		opts = append(opts, hgw.WithMaxProcs(*maxprocs))
 	}
 
 	if *benchjson {

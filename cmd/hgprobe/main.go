@@ -30,6 +30,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent experiments (0 = default 4; affects testbed sharing)")
 	fleet := flag.Int("fleet", 0, "fleet mode: measure N synthetic devices instead of the 34-device inventory")
 	shards := flag.Int("shards", 1, "partition the fleet across K concurrent sub-testbeds")
+	maxprocs := flag.Int("maxprocs", 0, "max concurrent fleet shard workers (0 = NumCPU; output is identical at any value)")
 	jsonOut := flag.Bool("json", false, "emit result envelopes as JSON")
 	verbose := flag.Bool("v", false, "report per-experiment progress on stderr")
 	list := flag.Bool("list", false, "list registered experiments and exit")
@@ -56,6 +57,9 @@ func main() {
 	}
 	if *fleet > 0 {
 		opts = append(opts, hgw.WithFleet(*fleet), hgw.WithShards(*shards))
+		if *maxprocs > 0 {
+			opts = append(opts, hgw.WithMaxProcs(*maxprocs))
+		}
 		if *verbose {
 			opts = append(opts, hgw.WithDeviceResults(func(ev hgw.DeviceEvent) {
 				fmt.Fprintf(os.Stderr, "  %-10s shard %d %s done\n", ev.ExperimentID, ev.Shard, ev.Result.Tag)

@@ -1,0 +1,194 @@
+package hgw_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hgw"
+)
+
+// fleetTrace runs a fleet job and captures both its render and the
+// WithDeviceResults event stream, serialized one line per event. The
+// stream is part of the determinism contract — shard order, experiment
+// order within a shard, device order within an experiment — so tests
+// compare it byte for byte, exactly like the render.
+func fleetTrace(t *testing.T, ids []string, opts ...hgw.Option) (render, trace string) {
+	t.Helper()
+	var mu sync.Mutex
+	var sb strings.Builder
+	all := make([]hgw.Option, 0, len(opts)+1)
+	all = append(all, opts...)
+	all = append(all, hgw.WithDeviceResults(func(ev hgw.DeviceEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(&sb, "%s/%d/%s/%v\n", ev.ExperimentID, ev.Shard, ev.Result.Tag, ev.Result.Samples)
+	}))
+	results, err := hgw.Run(context.Background(), ids, all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results.Render(), sb.String()
+}
+
+// TestFleetDeterminismMatrix is the multicore determinism acceptance
+// test: the same fleet job — the PR 5 fleet256 golden configuration —
+// run at maxProcs 1, 2, 4 and NumCPU must produce byte-identical
+// renders AND byte-identical streamed device-row sequences. The
+// maxProcs=1 baseline is additionally pinned to the committed golden,
+// so the matrix re-asserts the pre-refactor behavior under multicore
+// execution rather than merely agreeing with itself.
+func TestFleetDeterminismMatrix(t *testing.T) {
+	ids := []string{"udp1", "udp3"}
+	opts := func(procs int) []hgw.Option {
+		return []hgw.Option{
+			hgw.WithSeed(11), hgw.WithFleet(256), hgw.WithShards(8),
+			hgw.WithIterations(1), hgw.WithMaxProcs(procs),
+		}
+	}
+	baseRender, baseTrace := fleetTrace(t, ids, opts(1)...)
+
+	golden, err := os.ReadFile(filepath.Join("testdata", "behavior", "fleet256.golden"))
+	if err != nil {
+		t.Fatalf("missing fleet256 golden: %v", err)
+	}
+	if baseRender != string(golden) {
+		t.Errorf("maxProcs=1 render differs from the committed golden\n--- got ---\n%s\n--- want ---\n%s",
+			baseRender, golden)
+	}
+	if baseTrace == "" {
+		t.Fatal("no device events streamed")
+	}
+
+	for _, procs := range []int{2, 4, runtime.NumCPU()} {
+		procs := procs
+		t.Run(fmt.Sprintf("maxprocs=%d", procs), func(t *testing.T) {
+			render, trace := fleetTrace(t, ids, opts(procs)...)
+			if render != baseRender {
+				t.Errorf("render at maxProcs=%d differs from maxProcs=1\n--- got ---\n%s\n--- want ---\n%s",
+					procs, render, baseRender)
+			}
+			if trace != baseTrace {
+				t.Errorf("device-event stream at maxProcs=%d differs from maxProcs=1", procs)
+			}
+		})
+	}
+}
+
+// TestShardStreamIndependence pins the seed-split scheme: a shard's rng
+// stream, device slice and VLAN range are pure functions of (seed,
+// shard index), so adding shards to the fleet — or however completion
+// happens to be ordered across workers — never perturbs an existing
+// shard's draws. A 128-device/8-shard fleet and a 256-device/16-shard
+// fleet at the same seed give shards 0..7 identical 16-device slices
+// (the synthetic population is prefix-stable), identical simulator
+// seeds and identical VLAN bases, so the larger fleet's device-event
+// stream must begin with the smaller fleet's entire stream, byte for
+// byte.
+func TestShardStreamIndependence(t *testing.T) {
+	run := func(fleet, shards int) string {
+		_, trace := fleetTrace(t, []string{"udp1"},
+			hgw.WithSeed(5), hgw.WithFleet(fleet), hgw.WithShards(shards),
+			hgw.WithIterations(1))
+		return trace
+	}
+	small := run(128, 8)
+	big := run(256, 16)
+	if !strings.HasPrefix(big, small) {
+		t.Fatalf("doubling the fleet perturbed the original shards' draws:\n--- 128/8 ---\n%s\n--- 256/16 (prefix) ---\n%s",
+			small, big[:min(len(big), len(small))])
+	}
+	if len(big) <= len(small) {
+		t.Fatal("256-device trace is not longer than the 128-device trace")
+	}
+}
+
+// TestFleetStress is the CI -race workload for the multicore shard
+// path: a 10k-device fleet across 32 shards at NumCPU workers, run to
+// completion and then again with a mid-run cancellation. It is gated
+// behind HGW_STRESS so tier-1 test runs stay fast.
+func TestFleetStress(t *testing.T) {
+	if os.Getenv("HGW_STRESS") == "" {
+		t.Skip("set HGW_STRESS=1 to run the multicore fleet stress test")
+	}
+	var mu sync.Mutex
+	devices := 0
+	results, err := hgw.Run(context.Background(), []string{"udp1"},
+		hgw.WithSeed(1), hgw.WithFleet(10_000), hgw.WithShards(32),
+		hgw.WithMaxProcs(runtime.NumCPU()), hgw.WithIterations(1),
+		hgw.WithDeviceResults(func(ev hgw.DeviceEvent) {
+			mu.Lock()
+			devices++
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if devices != 10_000 {
+		t.Errorf("streamed %d device events, want 10000", devices)
+	}
+	r := results.Get("udp1")
+	if r == nil || r.Figure == nil || len(r.Figure.Points) != 10_000 {
+		t.Fatalf("udp1 figure incomplete: %+v", r)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := hgw.Run(ctx, []string{"udp1"},
+			hgw.WithSeed(1), hgw.WithFleet(10_000), hgw.WithShards(32),
+			hgw.WithMaxProcs(runtime.NumCPU()), hgw.WithIterations(1))
+		done <- err
+	}()
+	time.Sleep(300 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled stress run: err = %v, want context.Canceled", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("cancelled stress run did not return within 60s")
+	}
+}
+
+// TestFleetMillion is the scale ceiling acceptance test:
+// WithFleet(1_000_000) across 256 shards completes with streamed
+// device rows — the run never materializes a million-row slice; memory
+// follows the maxProcs window, not the fleet size. Gated behind
+// HGW_FLEET_MILLION: the run takes many core-minutes.
+func TestFleetMillion(t *testing.T) {
+	if os.Getenv("HGW_FLEET_MILLION") == "" {
+		t.Skip("set HGW_FLEET_MILLION=1 to run the million-device fleet")
+	}
+	var mu sync.Mutex
+	devices := 0
+	results, err := hgw.Run(context.Background(), []string{"udp1"},
+		hgw.WithSeed(1), hgw.WithFleet(1_000_000), hgw.WithShards(256),
+		hgw.WithMaxProcs(runtime.NumCPU()), hgw.WithIterations(1),
+		hgw.WithDeviceResults(func(ev hgw.DeviceEvent) {
+			mu.Lock()
+			devices++
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if devices != 1_000_000 {
+		t.Errorf("streamed %d device events, want 1000000", devices)
+	}
+	r := results.Get("udp1")
+	if r == nil || r.Figure == nil || len(r.Figure.Points) != 1_000_000 {
+		t.Fatal("udp1 figure incomplete")
+	}
+	if r.Payload != nil {
+		t.Errorf("fleet result materialized a %T payload; rows must stream", r.Payload)
+	}
+}

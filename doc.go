@@ -45,11 +45,18 @@
 //	)
 //
 // Fleet experiments are the registry entries with a population Sweep
-// (udp1, udp2, udp3, tcp1, tcp4, bindrate); their shard results merge
-// into one population Figure per experiment, and WithDeviceResults
-// streams per-device completions while shards run. Fleet output is a
-// pure function of (ids, fleet, shards, seed, options): equal settings
-// render byte-identically on any machine.
+// (udp1, udp2, udp3, tcp1, tcp4, bindrate). Shards stream through a
+// bounded pipeline of WithMaxProcs workers (default: NumCPU): each
+// shard is built, swept by every experiment, reduced to population
+// points and released, so even WithFleet(1_000_000) runs in memory
+// proportional to maxProcs, not fleet size, and WithDeviceResults
+// streams per-device completions in a deterministic shard-major order
+// while shards run. Fleet output is a pure function of (ids, fleet,
+// shards, seed, options) — each shard is an independent virtual time
+// domain whose seed and device slice depend only on the fleet seed and
+// shard index, and shard results merge in shard order — so equal
+// settings render byte-identically on any machine at any core count
+// (DESIGN.md §12).
 //
 // # Errors and cancellation
 //
@@ -60,9 +67,9 @@
 // re-running, and errors.Is/As see each underlying cause through the
 // usual unwrapping. Cancelling the context interrupts in-flight
 // simulations between events, so even a mid-fleet cancellation returns
-// promptly with the context error; a Runner whose fleet shards were
-// abandoned mid-sweep refuses subsequent runs rather than reusing
-// half-run simulator state.
+// promptly with the context error; fleet shards are ephemeral to their
+// Run, so a Runner stays reusable after a cancelled fleet run — the
+// half-run simulators are discarded with the run, never reused.
 //
 // # Reproducibility
 //
@@ -70,10 +77,14 @@
 // WithParallelism lane assignment, the fleet shard count, every seed —
 // are explicit parts of the contract rather than machine-dependent
 // defaults, which is why equal-seed runs are comparable across CI and
-// laptops alike. CacheKey condenses the contract into a content
-// address: a stable hash of everything output is a function of, which
-// is what lets the hgwd daemon (internal/service, DESIGN.md §8) answer
-// repeated requests from cache byte-identically.
+// laptops alike. Fleet worker counts (WithMaxProcs) are the deliberate
+// exception: shards are isolated time domains, so maxProcs moves only
+// wall clock, never output, and may safely default to NumCPU. CacheKey
+// condenses the contract into a content address: a stable hash of
+// everything output is a function of (parallelism is dropped for fleet
+// requests, where it cannot matter), which is what lets the hgwd
+// daemon (internal/service, DESIGN.md §8) answer repeated requests
+// from cache byte-identically.
 //
 // The legacy per-experiment entry points (RunUDP1, RunICMP, ...) remain
 // as thin wrappers over the registry and are deprecated.

@@ -291,6 +291,7 @@ func newFig2Experiment() *Experiment {
 			tb, s := testbed.Run(testbed.Config{Tags: env.Tags, Seed: env.Seed})
 			s.SetInterrupt(func() bool { return ctx.Err() != nil })
 			f := report.NewFigure(st.name, "sec", probe.UDPTimeouts(tb, s, st.mode, 0, env.Options))
+			s.Shutdown()
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}

@@ -90,8 +90,12 @@ func TestFleetRejectsNonSweepExperiments(t *testing.T) {
 	}
 }
 
-// TestFleetTestbedReuse mirrors the lane-sharing guarantee: one Runner
-// builds its shards once, not once per experiment.
+// TestFleetTestbedReuse mirrors the lane-sharing guarantee within one
+// Run: every experiment sweeps the same shard testbeds, so a
+// multi-experiment fleet run builds one testbed per shard, not one per
+// (experiment, shard). Shards are ephemeral to their Run — a second
+// Run rebuilds them — which is what keeps million-device fleets in
+// bounded memory and a Runner reusable after cancellation.
 func TestFleetTestbedReuse(t *testing.T) {
 	r := hgw.NewRunner(hgw.WithSeed(4), hgw.WithFleet(6), hgw.WithShards(2),
 		hgw.WithOptions(fleetOpts))
@@ -99,12 +103,12 @@ func TestFleetTestbedReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got := r.TestbedsBuilt(); got != 2 {
-		t.Fatalf("testbeds built = %d, want 2 (one per shard)", got)
+		t.Fatalf("testbeds built = %d, want 2 (one per shard, shared by both experiments)", got)
 	}
 	if _, err := r.Run(context.Background(), []string{"udp3"}); err != nil {
 		t.Fatal(err)
 	}
-	if got := r.TestbedsBuilt(); got != 2 {
-		t.Fatalf("testbeds built after reuse = %d, want 2", got)
+	if got := r.TestbedsBuilt(); got != 4 {
+		t.Fatalf("testbeds built after second run = %d, want 4 (shards are ephemeral per Run)", got)
 	}
 }

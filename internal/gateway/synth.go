@@ -170,14 +170,45 @@ func Synthesize(n int, seed int64) []Profile {
 	if n <= 0 {
 		return nil
 	}
-	pop := newPopulation()
-	rng := rand.New(rand.NewSource(seed))
+	return NewSynthStream(seed).Next(n)
+}
+
+// SynthStream is the sequential profile sampler behind Synthesize,
+// exposed so fleet runners can synthesize a population in shard-sized
+// chunks instead of materializing millions of profiles up front. The
+// stream is the single rng sequence of Synthesize: concatenating Next
+// calls of any sizes yields exactly Synthesize(total, seed), so a
+// device's profile is a pure function of (seed, fleet index) — how the
+// fleet is chunked (and therefore sharded) cannot perturb any device's
+// draws. A SynthStream is not safe for concurrent use; chunk producers
+// serialize on it in fleet order.
+type SynthStream struct {
+	pop  *population
+	rng  *rand.Rand
+	seed int64
+	next int // 0-based fleet index of the next device
+}
+
+// NewSynthStream starts the profile stream for a fleet seed.
+func NewSynthStream(seed int64) *SynthStream {
+	return &SynthStream{pop: newPopulation(), rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Next returns the next n profiles of the stream, in fleet order.
+func (st *SynthStream) Next(n int) []Profile {
+	if n <= 0 {
+		return nil
+	}
 	out := make([]Profile, n)
 	for i := range out {
-		out[i] = pop.synthRow(rng, i+1, seed).build()
+		st.next++
+		out[i] = st.pop.synthRow(st.rng, st.next, st.seed).build()
 	}
 	return out
 }
+
+// Index returns the fleet index of the next device Next will sample.
+func (st *SynthStream) Index() int { return st.next }
 
 // BehaviorClass is one cell of a joint (mapping, filtering)
 // distribution over RFC 4787 behavior classes.

@@ -144,3 +144,38 @@ func TestSynthesizeClassFrequencies(t *testing.T) {
 		t.Error("no device sampled the dl8 per-service DNS override")
 	}
 }
+
+// TestSynthStreamChunkInvariant pins the property the fleet pipeline
+// leans on to avoid materializing million-device populations: drawing
+// a fleet from a SynthStream in chunks of any sizes yields exactly
+// Synthesize(total, seed), so per-shard profile slices generated on
+// demand are byte-identical to slices of the whole fleet.
+func TestSynthStreamChunkInvariant(t *testing.T) {
+	const n, seed = 120, 42
+	whole := Synthesize(n, seed)
+	for _, chunks := range [][]int{
+		{n},
+		{1, n - 1},
+		{17, 17, 17, 17, 17, 17, 17, 1},
+		{40, 40, 40},
+	} {
+		st := NewSynthStream(seed)
+		var got []Profile
+		for _, c := range chunks {
+			if want := len(got); st.Index() != want {
+				t.Fatalf("chunks %v: Index() = %d before drawing, want %d", chunks, st.Index(), want)
+			}
+			got = append(got, st.Next(c)...)
+		}
+		if !reflect.DeepEqual(got, whole) {
+			t.Fatalf("chunks %v: chunked stream differs from Synthesize(%d, %d)", chunks, n, seed)
+		}
+	}
+	// Zero and negative draws are no-ops, not stream perturbations.
+	st := NewSynthStream(seed)
+	st.Next(0)
+	st.Next(-3)
+	if !reflect.DeepEqual(st.Next(n), whole) {
+		t.Fatal("empty draws perturbed the stream")
+	}
+}

@@ -110,6 +110,7 @@ func MeasureThroughputInterruptible(tag string, opts Options, seed int64, interr
 	// Unidirectional upload.
 	run1 := func(up bool) (float64, float64) {
 		tb, s := testbed.Run(testbed.Config{Tags: []string{tag}, Seed: seed})
+		defer s.Shutdown()
 		s.SetInterrupt(interrupt)
 		n := tb.Nodes[0]
 		var mbps, delay float64
@@ -130,6 +131,7 @@ func MeasureThroughputInterruptible(tag string, opts Options, seed int64, interr
 
 	// Bidirectional: both directions at once on one testbed.
 	tb, s := testbed.Run(testbed.Config{Tags: []string{tag}, Seed: seed})
+	defer s.Shutdown()
 	s.SetInterrupt(interrupt)
 	n := tb.Nodes[0]
 	var upM, upD, downM, downD float64

@@ -106,6 +106,7 @@ func HolePunch(tagA, tagB string, seed int64) HolePunchResult {
 // synthetic RFC 4787 behavior classes through here).
 func HolePunchProfiles(profA, profB gateway.Profile, seed int64) HolePunchResult {
 	tb, s := testbed.Run(testbed.Config{Profiles: []gateway.Profile{profA, profB}, Seed: seed})
+	defer s.Shutdown()
 	res := HolePunchResult{TagA: profA.Tag, TagB: profB.Tag}
 	nA, nB := tb.Nodes[0], tb.Nodes[1]
 

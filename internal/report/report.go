@@ -39,6 +39,18 @@ func NewFigure(title, unit string, results []probe.DeviceResult) Figure {
 	return Figure{Title: title, Unit: unit, Points: sorted, Median: med, Mean: mean}
 }
 
+// NewFigureFromPoints builds a Figure from per-device points that were
+// already reduced from their samples (DeviceResult.Point). It renders
+// byte-identically to NewFigure over the rows that produced the points:
+// the population statistics are computed from points either way, and
+// Population stable-sorts, so equal input order gives equal output.
+// Fleet runners use it to aggregate streamed shard sweeps without
+// holding every device's raw samples alive until the merge.
+func NewFigureFromPoints(title, unit string, pts []stats.DevicePoint) Figure {
+	sorted, med, mean := stats.Population(pts)
+	return Figure{Title: title, Unit: unit, Points: sorted, Median: med, Mean: mean}
+}
+
 // NewFigureFromValues builds a Figure from single values per device.
 func NewFigureFromValues(title, unit string, values map[string]float64) Figure {
 	results := make([]probe.DeviceResult, 0, len(values))

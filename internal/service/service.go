@@ -32,6 +32,11 @@ type Spec struct {
 	Parallelism   int      `json:"parallelism,omitempty"`
 	Fleet         int      `json:"fleet,omitempty"`
 	Shards        int      `json:"shards,omitempty"`
+	// MaxProcs bounds fleet shard workers (0 = NumCPU on the serving
+	// node). It is a pure throughput knob: fleet output — and therefore
+	// the job's cache key — is identical at any value, so clients on
+	// differently-sized machines share cache entries.
+	MaxProcs int `json:"max_procs,omitempty"`
 }
 
 // options translates the Spec into hgw.Run options (without callbacks,
@@ -52,6 +57,9 @@ func (sp Spec) options() []hgw.Option {
 	}
 	if sp.Fleet > 0 {
 		opts = append(opts, hgw.WithFleet(sp.Fleet), hgw.WithShards(sp.Shards))
+	}
+	if sp.MaxProcs > 0 {
+		opts = append(opts, hgw.WithMaxProcs(sp.MaxProcs))
 	}
 	return opts
 }

@@ -99,6 +99,8 @@ type Sim struct {
 	running     bool
 	interrupt   func() bool // polled between events; true aborts the run
 	interrupted bool
+	killing     bool          // Shutdown in progress: parked processes die on wake
+	all         []*Proc       // every spawned process, for Shutdown
 	label       func() string // optional diagnostics
 }
 
@@ -326,6 +328,7 @@ type Proc struct {
 	s       *Sim
 	name    string
 	resume  chan struct{}
+	started bool // the spawn event fired: a goroutine owns this process
 	exited  bool
 	joiners []*Proc
 	// wakeArmed guards against double wake-ups: each park consumes
@@ -354,10 +357,12 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 	p.handoffFn = p.handoff
 	p.wakeFn = p.scheduleWake
 	s.procs++
+	s.all = append(s.all, p)
 	s.At(s.now, func() {
+		p.started = true
 		go func() {
 			<-p.resume
-			fn(p)
+			runProc(fn, p)
 			p.exited = true
 			s.procs--
 			for _, j := range p.joiners {
@@ -371,6 +376,57 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 	return p
 }
 
+// procKilled is the panic sentinel Shutdown throws through a parked
+// process to unwind its goroutine.
+type procKilled struct{}
+
+// runProc runs the process body, absorbing the Shutdown kill panic so
+// the exit bookkeeping in Spawn's goroutine still runs.
+func runProc(fn func(p *Proc), p *Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(procKilled); !ok {
+				panic(r)
+			}
+		}
+	}()
+	fn(p)
+}
+
+// Shutdown unwinds every live process goroutine. A simulation that ends
+// with processes still parked — servers park forever by design, and an
+// interrupted or horizon-bounded run parks everything mid-flight —
+// leaves those goroutines blocked on channels the scheduler will never
+// signal again; the Go runtime does not collect blocked goroutines, so
+// each would pin its stack and everything reachable from it (transitively,
+// the whole simulation) for the life of the program. Callers that drop a
+// simulator before process exit MUST call Shutdown first; ephemeral fleet
+// shards are the high-volume case.
+//
+// Shutdown wakes each parked process into a panic that unwinds its
+// goroutine (deferred cleanup in process bodies runs normally). The
+// simulator must not be resumed afterwards. Calling Shutdown again, or
+// on a fully exited simulation, is a no-op.
+func (s *Sim) Shutdown() {
+	if s.running {
+		panic("sim: Shutdown called during Run")
+	}
+	s.killing = true
+	for _, p := range s.all {
+		if !p.started || p.exited {
+			// Never-started processes have no goroutine: their spawn
+			// event never fired.
+			continue
+		}
+		// Between events every live started process is blocked in
+		// park() on resume; the kill panic unwinds it and the exit
+		// path returns the scheduler token.
+		p.resume <- struct{}{}
+		<-s.token
+	}
+	s.all = nil
+}
+
 // handoff transfers control to the process goroutine and blocks until it
 // parks again or exits. It must run in scheduler (event callback) context.
 func (p *Proc) handoff() {
@@ -381,11 +437,20 @@ func (p *Proc) handoff() {
 // park yields control back to the scheduler until the process is woken.
 // Exactly one wake must be armed (scheduled) per park.
 func (p *Proc) park() {
+	if p.s.killing {
+		// Refuses re-parking from deferred cleanup while this process
+		// is being unwound by Shutdown; a re-park would strand the
+		// goroutine forever.
+		panic(procKilled{})
+	}
 	p.s.parked++
 	p.wakeArmed = true
 	p.s.token <- struct{}{}
 	<-p.resume
 	p.s.parked--
+	if p.s.killing {
+		panic(procKilled{})
+	}
 }
 
 // scheduleWake arranges for the process to resume at the current virtual
@@ -393,7 +458,7 @@ func (p *Proc) park() {
 // handoff happens in a fresh event. Calling it when no park is armed is
 // a no-op (the waker lost a race that was already resolved).
 func (p *Proc) scheduleWake() {
-	if !p.wakeArmed || p.exited {
+	if !p.wakeArmed || p.exited || p.s.killing {
 		return
 	}
 	p.wakeArmed = false

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"runtime"
 	"testing"
 	"time"
 )
@@ -322,5 +323,117 @@ func TestPending(t *testing.T) {
 	e1.Cancel()
 	if s.Pending() != 1 {
 		t.Fatalf("Pending after cancel = %d", s.Pending())
+	}
+}
+
+// countGoroutines samples runtime.NumGoroutine with a settle loop:
+// exiting goroutines hand their token back before the runtime retires
+// them, so give the scheduler a few beats to drain.
+func countGoroutines(baseline int) int {
+	n := runtime.NumGoroutine()
+	for i := 0; i < 100 && n > baseline; i++ {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+func TestShutdownReleasesGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s := New(1)
+	const procs = 50
+	cleaned := 0
+	ch := NewChan[int](s)
+	for i := 0; i < procs; i++ {
+		s.Spawn("server", func(p *Proc) {
+			defer func() { cleaned++ }()
+			// Parks forever: nothing ever sends, like a device's DHCP
+			// or DNS server process after its testbed is abandoned.
+			ch.Recv(p, 0)
+		})
+	}
+	s.Run(0)
+	if s.Stalled() != procs {
+		t.Fatalf("stalled = %d, want %d", s.Stalled(), procs)
+	}
+	if n := runtime.NumGoroutine(); n < baseline+procs {
+		t.Fatalf("expected %d parked goroutines resident, have %d over baseline", procs, n-baseline)
+	}
+	s.Shutdown()
+	if n := countGoroutines(baseline); n > baseline {
+		t.Errorf("goroutines after Shutdown = %d, baseline %d: parked processes leaked", n, baseline)
+	}
+	if cleaned != procs {
+		t.Errorf("deferred cleanup ran in %d/%d killed processes", cleaned, procs)
+	}
+}
+
+func TestShutdownIdempotentAndCleanExit(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s := New(1)
+	ran := false
+	s.Spawn("worker", func(p *Proc) {
+		p.Sleep(time.Second)
+		ran = true
+	})
+	s.Run(0)
+	if !ran {
+		t.Fatal("worker did not run")
+	}
+	// All processes exited on their own; Shutdown must be a no-op, and
+	// calling it twice must be safe.
+	s.Shutdown()
+	s.Shutdown()
+	if n := countGoroutines(baseline); n > baseline {
+		t.Errorf("goroutines = %d, baseline %d", n, baseline)
+	}
+}
+
+func TestShutdownInterruptedRun(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s := New(1)
+	for i := 0; i < 8; i++ {
+		s.Spawn("ticker", func(p *Proc) {
+			for {
+				p.Sleep(time.Millisecond)
+			}
+		})
+	}
+	fired := 0
+	s.SetInterrupt(func() bool { fired++; return fired > 2 })
+	s.Run(0)
+	if !s.Interrupted() {
+		t.Fatal("run was not interrupted")
+	}
+	// Mid-flight state: every ticker is parked on a pending wake.
+	s.Shutdown()
+	if n := countGoroutines(baseline); n > baseline {
+		t.Errorf("goroutines after Shutdown = %d, baseline %d", n, baseline)
+	}
+}
+
+func TestShutdownSurvivesReparkingCleanup(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s := New(1)
+	s.Spawn("stubborn", func(p *Proc) {
+		defer func() {
+			// A cleanup that tries to block again mid-unwind must not
+			// strand the goroutine (park refuses during Shutdown).
+			defer func() { recover() }()
+			p.Sleep(time.Hour)
+		}()
+		p.Sleep(time.Hour)
+	})
+	s.Run(time.Minute)
+	done := make(chan struct{})
+	go func() { s.Shutdown(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown deadlocked on re-parking cleanup")
+	}
+	if n := countGoroutines(baseline); n > baseline {
+		t.Errorf("goroutines = %d, baseline %d", n, baseline)
 	}
 }

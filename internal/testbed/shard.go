@@ -2,6 +2,7 @@ package testbed
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"hgw/internal/gateway"
@@ -10,8 +11,11 @@ import (
 
 // A Shard is one independent sub-testbed of a fleet: its own simulator,
 // switches and Figure 1 topology carrying a contiguous slice of the
-// fleet's devices. Shards share nothing, so they can be built and
-// probed concurrently, and a sweep over a fleet of N devices costs k
+// fleet's devices. Shards share nothing — simulator, event slab, rng
+// stream and address space are all per-shard — so each shard is an
+// independent virtual time domain: shards can be built and probed
+// concurrently on any number of OS threads without perturbing each
+// other's trajectories, and a sweep over a fleet of N devices costs k
 // small topologies instead of one N-device topology whose broadcast
 // domains (DHCP, ARP flooding) and event queue grow with N.
 type Shard struct {
@@ -24,6 +28,14 @@ type Shard struct {
 	// Offset is the fleet-wide index of the shard's first device.
 	Offset int
 }
+
+// Close unwinds the shard's simulator process goroutines
+// (sim.Shutdown). A shard's servers park forever by design, and the Go
+// runtime never collects a blocked goroutine, so dropping a shard
+// without Close pins the whole sub-testbed in memory for the life of
+// the process. Callers that discard shards — the streaming fleet
+// runner above all — must Close each one when done with it.
+func (sh *Shard) Close() { sh.Sim.Shutdown() }
 
 // FleetConfig controls sharded fleet construction.
 type FleetConfig struct {
@@ -40,6 +52,25 @@ type FleetConfig struct {
 // shardSeedStride separates per-shard simulator seeds; any odd stride
 // works, a large prime keeps shard streams visibly unrelated.
 const shardSeedStride = 7919
+
+// ShardSeed derives shard index's simulator seed from the fleet seed.
+// It is a pure function of (seed, index) — deliberately independent of
+// the shard count, the device partition and every other shard — so a
+// shard's rng stream (and with it its whole simulation trajectory) can
+// never be perturbed by adding shards, removing shards, or the order
+// in which shards happen to be scheduled or complete.
+func ShardSeed(seed int64, index int) int64 {
+	return seed + int64(index)*shardSeedStride
+}
+
+// ShardVLANBase derives shard index's first VLAN id from the fleet
+// device offset of its first device. Disjoint VLAN ranges per shard
+// keep the fleet reading as one switched topology split across
+// sub-testbeds; like ShardSeed, the value depends only on (offset,
+// index), not on other shards.
+func ShardVLANBase(offset, index int) int {
+	return 1000 + 2*offset + 2*index
+}
 
 // Partition splits n devices across k shards as evenly as possible,
 // returning the start index of each shard plus a final n sentinel. The
@@ -62,11 +93,39 @@ func Partition(n, k int) []int {
 	return bounds
 }
 
+// BuildShard builds and boots one fleet shard: profiles are the
+// shard's contiguous device slice, index its 0-based shard number,
+// offset the fleet-wide index of its first device, and seed the fleet
+// seed (the shard's simulator seed is ShardSeed(seed, index)). Setup
+// panics return as errors. The shard's construction inputs are all
+// pure functions of (profiles, index, offset, seed), so equal
+// arguments build byte-identical shards regardless of what any other
+// shard is doing — the property that lets fleet runners build, sweep
+// and discard shards on concurrent workers.
+func BuildShard(profiles []gateway.Profile, index, offset int, seed int64) (sh *Shard, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			sh, err = nil, fmt.Errorf("testbed: fleet shard %d: %v", index, p)
+		}
+	}()
+	tb, s := Run(Config{
+		Profiles: profiles,
+		Seed:     ShardSeed(seed, index),
+		VLANBase: ShardVLANBase(offset, index),
+	})
+	return &Shard{Index: index, Testbed: tb, Sim: s, Offset: offset}, nil
+}
+
 // BuildFleet partitions cfg.Profiles across shards and brings every
-// shard's testbed up, building shards concurrently (each has its own
-// simulator). Unlike Run, setup failures return an error: a fleet
-// build is driven by CLI flags, not by tests that rely on a working
-// topology.
+// shard's testbed up, building shards concurrently on up to NumCPU
+// workers (each shard has its own simulator). Unlike Run, setup
+// failures return an error: a fleet build is driven by CLI flags, not
+// by tests that rely on a working topology.
+//
+// BuildFleet materializes every shard at once; the hgw fleet runner
+// instead streams shards through BuildShard so only a bounded window
+// is ever live. BuildFleet remains for callers that want the whole
+// fleet resident (experiments over persistent topologies, tests).
 func BuildFleet(cfg FleetConfig) ([]*Shard, error) {
 	n := len(cfg.Profiles)
 	if n == 0 {
@@ -75,30 +134,28 @@ func BuildFleet(cfg FleetConfig) ([]*Shard, error) {
 	bounds := Partition(n, cfg.Shards)
 	shards := make([]*Shard, len(bounds)-1)
 	errs := make([]error, len(shards))
+	sem := make(chan struct{}, runtime.NumCPU())
 	var wg sync.WaitGroup
 	for i := range shards {
 		i := i
 		wg.Add(1)
+		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					errs[i] = fmt.Errorf("testbed: fleet shard %d: %v", i, p)
-				}
-			}()
-			tb, s := Run(Config{
-				Profiles: cfg.Profiles[bounds[i]:bounds[i+1]],
-				Seed:     cfg.Seed + int64(i)*shardSeedStride,
-				// Disjoint VLAN ranges per shard: the fleet reads as one
-				// switched topology split across runner lanes.
-				VLANBase: 1000 + 2*bounds[i] + 2*i,
-			})
-			shards[i] = &Shard{Index: i, Testbed: tb, Sim: s, Offset: bounds[i]}
+			defer func() { <-sem }()
+			shards[i], errs[i] = BuildShard(cfg.Profiles[bounds[i]:bounds[i+1]], i, bounds[i], cfg.Seed)
 		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			// Release the shards that did build; the caller gets none
+			// of them.
+			for _, sh := range shards {
+				if sh != nil {
+					sh.Close()
+				}
+			}
 			return nil, err
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"runtime"
 	"strings"
 )
 
@@ -13,7 +14,9 @@ type Option func(*settings)
 // defaultParallelism is a fixed constant, not GOMAXPROCS: lane
 // assignment (and therefore which testbed an experiment observes)
 // follows parallelism, so a hardware-dependent default would make
-// equal-seed runs render differently across machines.
+// equal-seed runs render differently across machines. Fleet mode has
+// no such coupling — shards are independent time domains — so its
+// worker count (maxProcs) defaults to the machine's core count.
 const defaultParallelism = 4
 
 // settings is the resolved option set shared by every experiment in a
@@ -23,6 +26,7 @@ type settings struct {
 	seed        int64
 	probeOpts   Options
 	parallelism int
+	maxProcs    int
 	progress    func(Progress)
 	fleet       int
 	shards      int
@@ -36,6 +40,9 @@ func newSettings(opts []Option) settings {
 	}
 	if s.parallelism < 1 {
 		s.parallelism = 1
+	}
+	if s.maxProcs < 1 {
+		s.maxProcs = runtime.NumCPU()
 	}
 	if s.fleet < 0 {
 		s.fleet = 0
@@ -57,6 +64,11 @@ func newSettings(opts []Option) settings {
 // with equal keys render byte-identical results, which is what lets a
 // service answer repeated requests from cache (see internal/service and
 // DESIGN.md §8).
+//
+// Fleet requests (WithFleet > 0) do not key on parallelism or
+// WithMaxProcs: shard execution is deterministic at any worker count,
+// so the same fleet job submitted from a 1-core client and a 64-core
+// client hits the same cache entry.
 //
 // Canonicalization matches Run's own request handling: ids are
 // trimmed, alias-resolved and deduplicated (tcp3 and tcp2 share a key),
@@ -101,7 +113,17 @@ func (s settings) canonical(exps []*Experiment) string {
 	fmt.Fprintf(&sb, "opts=iters:%d,res:%d,maxudp:%d,maxtcp:%d,bytes:%d,verdict:%d\n",
 		o.Iterations, int64(o.Resolution), int64(o.MaxUDPTimeout),
 		int64(o.MaxTCPTimeout), o.TransferBytes, int64(o.Verdict))
-	fmt.Fprintf(&sb, "parallelism=%d\nfleet=%d\nshards=%d\n", s.parallelism, s.fleet, s.shards)
+	if s.fleet > 0 {
+		// Fleet output is independent of every concurrency knob: shards
+		// are isolated time domains and the merge is ordered, so runs at
+		// parallelism 1 and NumCPU render byte-identically. Hash a
+		// wildcard so those runs share a cache entry. ("*" cannot
+		// collide with the inventory form, which always prints a
+		// number.) maxProcs is likewise absent from the hash.
+		fmt.Fprintf(&sb, "parallelism=*\nfleet=%d\nshards=%d\n", s.fleet, s.shards)
+	} else {
+		fmt.Fprintf(&sb, "parallelism=%d\nfleet=%d\nshards=%d\n", s.parallelism, s.fleet, s.shards)
+	}
 	return sb.String()
 }
 
@@ -140,14 +162,31 @@ func WithOptions(o Options) Option {
 }
 
 // WithParallelism bounds how many experiments execute concurrently and
-// therefore how many testbeds a run builds: shared-testbed experiments
-// are split deterministically across at most n lanes, each lane reusing
-// a single testbed. Parallelism is part of the reproducibility
-// contract — it decides lane assignment, and a lane's later experiments
-// observe its earlier experiments' testbed history — so it defaults to
-// a fixed 4 rather than the machine's core count.
+// therefore how many testbeds an inventory run builds: shared-testbed
+// experiments are split deterministically across at most n lanes, each
+// lane reusing a single testbed. Parallelism is part of the inventory
+// reproducibility contract — it decides lane assignment, and a lane's
+// later experiments observe its earlier experiments' testbed history —
+// so it defaults to a fixed 4 rather than the machine's core count.
+// Fleet runs ignore it entirely (shards are independent; see
+// WithMaxProcs), which is why CacheKey drops it for fleet requests.
 func WithParallelism(n int) Option {
 	return func(s *settings) { s.parallelism = n }
+}
+
+// WithMaxProcs bounds how many fleet shards execute concurrently
+// (default: runtime.NumCPU; values below 1 select the default). Unlike
+// WithParallelism, maxProcs is a pure throughput knob with no
+// reproducibility weight: every shard is an independent virtual time
+// domain whose simulator seed, device partition and rng stream depend
+// only on (seed, shard index), and the merge step reassembles shard
+// results in shard order, so a fleet run renders byte-identically at
+// maxProcs 1, 4 or 64. It also sets the run's memory budget: at most
+// maxProcs shards (plus a small pipeline window) are resident at once,
+// which is what lets WithFleet(1_000_000) run in bounded memory.
+// Inventory runs ignore it.
+func WithMaxProcs(n int) Option {
+	return func(s *settings) { s.maxProcs = n }
 }
 
 // WithProgress installs a callback invoked when each experiment starts
@@ -168,13 +207,16 @@ func WithFleet(n int) Option {
 }
 
 // WithShards partitions a fleet across k independent sub-testbeds
-// (default 1). Shards build and probe concurrently — each owns a
-// simulator — so bring-up and sweeps parallelize across shards instead
-// of serializing every DHCP handshake and probe on one topology, and
-// even single-threaded the per-shard topologies keep broadcast domains
-// and event queues small. The shard count is part of the
-// reproducibility contract: it decides the device partition and each
-// shard's simulator seed.
+// (default 1). Shards build and probe concurrently on up to
+// WithMaxProcs workers — each owns a simulator — so bring-up and
+// sweeps parallelize across shards instead of serializing every DHCP
+// handshake and probe on one topology, and even single-threaded the
+// per-shard topologies keep broadcast domains and event queues small.
+// The shard count is part of the reproducibility contract: it decides
+// the device partition and each shard's simulator seed. (Each shard
+// holds at most 4094 devices, so million-device fleets need hundreds
+// of shards; shards stream through a bounded window, so memory follows
+// maxProcs, not the shard count.)
 func WithShards(k int) Option {
 	return func(s *settings) { s.shards = k }
 }
@@ -192,10 +234,13 @@ type DeviceEvent struct {
 }
 
 // WithDeviceResults installs a streaming callback invoked once per
-// device during fleet runs, as each shard finishes an experiment's
-// sweep — front-ends can report fleet progress without waiting for the
-// merged population figure. Events from one shard arrive in device
-// order; shards interleave in completion order. Calls are serialized.
+// device during fleet runs, as each shard clears the merge step —
+// front-ends can report fleet progress without waiting for the merged
+// population figures. The event sequence is deterministic: shards are
+// replayed in shard order, experiments in run order within a shard,
+// devices in device order within an experiment — identical at any
+// WithMaxProcs setting, so the stream itself is reproducible, not just
+// the final render. Calls are serialized.
 func WithDeviceResults(fn func(DeviceEvent)) Option {
 	return func(s *settings) { s.deviceCB = fn }
 }

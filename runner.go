@@ -8,6 +8,8 @@ import (
 	"sync"
 
 	"hgw/internal/gateway"
+	"hgw/internal/report"
+	"hgw/internal/stats"
 	"hgw/internal/testbed"
 )
 
@@ -105,17 +107,17 @@ func runError(exps []*Experiment, errs []error) error {
 // Standalone experiments — execute concurrently, bounded by the same
 // parallelism. The lane assignment depends only on the id list and the
 // parallelism, so runs with equal seeds render byte-identically.
+//
+// Fleet runs (WithFleet) schedule differently: shards stream through a
+// bounded pipeline of WithMaxProcs workers, each shard built, swept by
+// every experiment, and released within one Run. Shards are ephemeral —
+// nothing carries over between runs — so a Runner stays reusable even
+// after a cancelled or failed fleet run.
 type Runner struct {
 	set settings
 
 	mu            sync.Mutex
 	testbedsBuilt int
-
-	// fleet shards are built once per Runner and reused across its
-	// runs, amortizing bring-up like lane testbed sharing does.
-	fleetOnce sync.Once
-	shards    []*testbed.Shard
-	fleetErr  error
 }
 
 // NewRunner builds a Runner from options. A Runner is safe for
@@ -214,6 +216,13 @@ func (r *Runner) Run(ctx context.Context, ids []string) (Results, error) {
 			var tb *Testbed
 			var s *Sim
 			var buildErr error
+			// Drop the lane's testbed with its process goroutines
+			// unwound; parked servers would otherwise outlive the Run.
+			defer func() {
+				if s != nil {
+					s.Shutdown()
+				}
+			}()
 			for _, i := range mine {
 				err := ctx.Err()
 				if err == nil {
@@ -295,9 +304,13 @@ var ErrNotFleetCapable = errors.New("experiment has no population sweep")
 
 // runFleet executes experiments against a synthetic device fleet: n
 // profiles sampled from the paper's population distributions, split
-// across k shard testbeds. Experiments run one after another; each
-// experiment's sweep fans out across all shards concurrently and the
-// shard results merge into a single population Figure.
+// across k shard testbeds. Execution is shard-major: each shard is
+// built, swept by every experiment in run order, reduced to population
+// points and released, with up to WithMaxProcs shards in flight at
+// once. Every shard is an independent virtual time domain and the
+// merge consumes shards strictly in shard order, so the output —
+// rendered figures and the WithDeviceResults stream alike — is
+// byte-identical at any worker count (DESIGN.md §12).
 func (r *Runner) runFleet(ctx context.Context, ids []string) (Results, error) {
 	if len(ids) == 0 {
 		ids = FleetIDs()
@@ -312,112 +325,210 @@ func (r *Runner) runFleet(ctx context.Context, ids []string) (Results, error) {
 		}
 	}
 
-	r.fleetOnce.Do(func() {
-		profiles := gateway.Synthesize(r.set.fleet, r.set.seed)
-		r.mu.Lock()
-		r.testbedsBuilt += r.set.shards
-		r.mu.Unlock()
-		r.shards, r.fleetErr = testbed.BuildFleet(testbed.FleetConfig{
-			Profiles: profiles,
-			Shards:   r.set.shards,
-			Seed:     r.set.seed,
-		})
-	})
-	if r.fleetErr != nil {
-		return nil, r.fleetErr
-	}
-
 	total := len(exps)
+	for i, e := range exps {
+		r.emit(Progress{ID: e.ID, Index: i, Total: total})
+	}
+	pts, sweepErr := r.sweepShards(ctx, exps)
+
 	out := make(Results, 0, total)
 	errs := make([]error, total)
 	for i, e := range exps {
-		err := ctx.Err()
-		if err == nil {
-			// An earlier experiment abandoning the shards poisons the
-			// rest of the run too.
-			err = r.fleetErr
-		}
-		if err != nil {
-			errs[i] = err
-			r.emit(Progress{ID: e.ID, Index: i, Total: total, Done: true, Err: err})
+		if sweepErr != nil {
+			// A failed or cancelled shard leaves every experiment's
+			// figure incomplete: the failure is attributed to all of
+			// them. The shards themselves were ephemeral to this Run,
+			// so the Runner stays reusable.
+			errs[i] = sweepErr
+			r.emit(Progress{ID: e.ID, Index: i, Total: total, Done: true, Err: sweepErr})
 			continue
 		}
-		r.emit(Progress{ID: e.ID, Index: i, Total: total})
-		res, err := r.sweepFleet(ctx, e)
-		if err != nil {
-			errs[i] = err
-			// Whether by cancellation or a shard panic, the shards were
-			// abandoned mid-sweep: their simulators hold parked
-			// processes and pending events, so reusing them would be
-			// nondeterministic. Poison this Runner's fleet; later runs
-			// must build a fresh Runner.
-			r.fleetErr = fmt.Errorf("fleet shards abandoned mid-sweep; use a new Runner: %w", err)
-		} else {
-			out = append(out, res)
+		fig := report.NewFigureFromPoints(e.Title, e.Unit, pts[i])
+		text := fig.RenderSummary()
+		if len(fig.Points) <= 40 {
+			text = fig.Render(50, e.LogScale)
 		}
-		r.emit(Progress{ID: e.ID, Index: i, Total: total, Done: true, Err: err})
+		out = append(out, e.result(&fig, nil, text))
+		r.emit(Progress{ID: e.ID, Index: i, Total: total, Done: true})
 	}
 	return out, runError(exps, errs)
 }
 
-// sweepFleet fans one experiment's Sweep out across every shard and
-// merges the per-shard device results into one population Result.
-// Shards own independent simulators, so the fan-out is safely
-// concurrent; merge order is shard order, so equal-settings runs render
-// byte-identically regardless of shard completion order. Cancelling ctx
-// interrupts every shard's simulator mid-sweep; the partial shard
-// results are discarded and the context error is returned.
-func (r *Runner) sweepFleet(ctx context.Context, e *Experiment) (*Result, error) {
-	parts := make([][]DeviceResult, len(r.shards))
-	errs := make([]error, len(r.shards))
-	var wg sync.WaitGroup
-	for _, sh := range r.shards {
-		sh := sh
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					errs[sh.Index] = fmt.Errorf("shard %d: panic: %v", sh.Index, p)
-				}
-			}()
-			// This goroutine owns the shard's simulator for the sweep's
-			// duration; clear the interrupt afterwards so a later run's
-			// context does not leak into this one.
-			sh.Sim.SetInterrupt(func() bool { return ctx.Err() != nil })
-			defer sh.Sim.SetInterrupt(nil)
-			res := e.Sweep(&Env{
-				Seed:    r.set.seed + int64(sh.Index),
+// shardBatch is one shard's completed output, handed from its worker
+// to the in-order merge: per-experiment population points (device
+// order) plus, when a device callback is installed, the raw rows its
+// events replay. skipped marks shards the dispatcher abandoned after
+// cancellation, for which no window token was taken.
+type shardBatch struct {
+	pts     [][]stats.DevicePoint
+	rows    [][]DeviceResult
+	err     error
+	skipped bool
+}
+
+// sweepShards streams every fleet shard through the bounded pipeline
+// and returns, per experiment, the concatenation of all shards'
+// population points in shard order.
+//
+// Three goroutine roles cooperate:
+//
+//   - the dispatcher walks shards in index order, draws each shard's
+//     profile chunk from one sequential gateway.SynthStream (chunking
+//     does not perturb the stream, so the fleet population is never
+//     materialized whole), and launches one worker per shard after
+//     taking a window token;
+//   - workers — at most maxProcs executing — build their shard, sweep
+//     every experiment on it sequentially, reduce the device rows to
+//     points and publish a shardBatch;
+//   - the calling goroutine merges batches strictly in shard index
+//     order, emits device events, accumulates points and returns the
+//     shard's window token. The token return is what bounds resident
+//     shards — the run's memory budget — to the window, a small
+//     constant over maxProcs.
+//
+// Seed derivations, the profile stream and the merge order depend only
+// on (settings, shard index), never on scheduling, so the returned
+// points are identical at any maxProcs.
+func (r *Runner) sweepShards(ctx context.Context, exps []*Experiment) ([][]stats.DevicePoint, error) {
+	bounds := testbed.Partition(r.set.fleet, r.set.shards)
+	n := len(bounds) - 1
+	procs := r.set.maxProcs
+	if procs > n {
+		procs = n
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	// The window's slack over procs lets finished shards await their
+	// merge turn without idling workers behind a slow head shard.
+	window := procs + 2
+
+	batches := make([]shardBatch, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	winSem := make(chan struct{}, window)
+	procSem := make(chan struct{}, procs)
+
+	work := func(i int, profiles []gateway.Profile) {
+		b := &batches[i]
+		defer close(done[i])
+		defer func() {
+			if p := recover(); p != nil {
+				b.err = fmt.Errorf("shard %d: panic: %v", i, p)
+			}
+		}()
+		procSem <- struct{}{}
+		defer func() { <-procSem }()
+		if err := ctx.Err(); err != nil {
+			b.err = err
+			return
+		}
+		sh, err := testbed.BuildShard(profiles, i, bounds[i], r.set.seed)
+		if err != nil {
+			b.err = err
+			return
+		}
+		// Unwind the shard's process goroutines before publishing the
+		// batch: servers park forever and the Go runtime never collects
+		// a blocked goroutine, so skipping this leaks the entire shard
+		// per shard processed (§12's memory budget depends on it).
+		defer sh.Sim.Shutdown()
+		r.mu.Lock()
+		r.testbedsBuilt++
+		r.mu.Unlock()
+		// This goroutine owns the shard's simulator for the shard's
+		// whole life: poll ctx between events so cancellation
+		// interrupts a sweep mid-run instead of waiting it out.
+		sh.Sim.SetInterrupt(func() bool { return ctx.Err() != nil })
+		b.pts = make([][]stats.DevicePoint, len(exps))
+		if r.set.deviceCB != nil {
+			b.rows = make([][]DeviceResult, len(exps))
+		}
+		for j, e := range exps {
+			rows := e.Sweep(&Env{
+				Seed:    r.set.seed + int64(i),
 				Options: r.set.probeOpts,
 				Testbed: sh.Testbed,
 				Sim:     sh.Sim,
 			})
-			if ctx.Err() != nil {
-				return // interrupted mid-sweep: res is incomplete
+			if err := ctx.Err(); err != nil {
+				b.err = err // interrupted mid-sweep: rows are incomplete
+				return
 			}
-			parts[sh.Index] = res
-			for _, dr := range res {
-				r.emitDevice(DeviceEvent{ExperimentID: e.ID, Shard: sh.Index, Result: dr})
+			// Reduce rows to points here, matching report.NewFigure's
+			// reduction, so the merge accumulates three floats per
+			// device instead of every raw sample.
+			pts := make([]stats.DevicePoint, 0, len(rows))
+			for _, dr := range rows {
+				if len(dr.Samples) == 0 {
+					continue
+				}
+				pts = append(pts, dr.Point())
 			}
-		}()
+			b.pts[j] = pts
+			if b.rows != nil {
+				b.rows[j] = rows
+			}
+		}
 	}
-	wg.Wait()
+
+	// Dispatcher: in-order shard launch under the window bound.
+	go func() {
+		stream := gateway.NewSynthStream(r.set.seed)
+		for i := 0; i < n; i++ {
+			select {
+			case winSem <- struct{}{}:
+			case <-ctx.Done():
+				// Mark every undispatched shard so the merge loop
+				// below never blocks on a worker that will not run.
+				for ; i < n; i++ {
+					batches[i].err = ctx.Err()
+					batches[i].skipped = true
+					close(done[i])
+				}
+				return
+			}
+			go work(i, stream.Next(bounds[i+1]-bounds[i]))
+		}
+	}()
+
+	// Merge: strictly ascending shard order.
+	pts := make([][]stats.DevicePoint, len(exps))
+	var firstErr error
+	for i := 0; i < n; i++ {
+		<-done[i]
+		b := &batches[i]
+		if firstErr == nil {
+			firstErr = b.err
+		}
+		if firstErr == nil {
+			for j, e := range exps {
+				if b.rows != nil {
+					for _, dr := range b.rows[j] {
+						r.emitDevice(DeviceEvent{ExperimentID: e.ID, Shard: i, Result: dr})
+					}
+				}
+				pts[j] = append(pts[j], b.pts[j]...)
+			}
+		}
+		skipped := b.skipped
+		// Drop the batch before returning its token: the token lets
+		// the dispatcher admit another shard, so this shard's rows
+		// must already be collectable.
+		*b = shardBatch{}
+		if !skipped {
+			<-winSem
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
+	if firstErr != nil {
+		return nil, firstErr
 	}
-	var all []DeviceResult
-	for _, part := range parts {
-		all = append(all, part...)
-	}
-	fig := MergeFigure(e.Title, e.Unit, all)
-	text := fig.RenderSummary()
-	if len(fig.Points) <= 40 {
-		text = fig.Render(50, e.LogScale)
-	}
-	return e.result(&fig, all, text), nil
+	return pts, nil
 }
 
 // emitDevice serializes per-device fleet callbacks.
