@@ -126,7 +126,11 @@ func TestBenchTrajectory(t *testing.T) {
 			t.Errorf("%s: %s regressed >20%% ns/op: %d -> %d (vs %s)",
 				newestPath, name, old.NsPerOp, cur.NsPerOp, prevPath)
 		}
-		if cur.AllocsOp > old.AllocsOp {
+		// hgbench measures whole-process Mallocs, which carry tens of
+		// allocs of scheduler/GC bookkeeping jitter per run; 0.01%
+		// slack absorbs that while still failing on one extra alloc
+		// per device (fleet rows run 2048 devices).
+		if slack := old.AllocsOp / 10_000; cur.AllocsOp > old.AllocsOp+slack {
 			t.Errorf("%s: %s regressed allocs/op: %d -> %d (vs %s)",
 				newestPath, name, old.AllocsOp, cur.AllocsOp, prevPath)
 		}

@@ -37,6 +37,7 @@ var (
 
 	benchjson = flag.Bool("benchjson", false, "run each experiment as a benchmark and write a JSON trajectory file instead of rendering")
 	benchout  = flag.String("benchout", "BENCH_pr.json", "output path for the -benchjson trajectory file")
+	reportOut = flag.Bool("report", false, "print the run telemetry report after the tables")
 )
 
 // benchEntry is one benchmark row of the -benchjson trajectory file.
@@ -112,6 +113,18 @@ func runBenchJSON(ids []string, opts []hgw.Option) error {
 			}
 			bench(fmt.Sprintf("hgbench/fleet/udp1/d2048/s%d", sh), []string{"udp1"}, fopts)
 		}
+		// One telemetry-enabled row records the cost of running the same
+		// 8-shard fleet with per-shard registries and a run report
+		// attached; the obs-off rows above stay the regression baseline.
+		oopts := []hgw.Option{
+			hgw.WithSeed(*seed), hgw.WithIterations(1),
+			hgw.WithFleet(2048), hgw.WithShards(8),
+			hgw.WithRunReport(func(*hgw.RunReport) {}),
+		}
+		if *maxprocs > 0 {
+			oopts = append(oopts, hgw.WithMaxProcs(*maxprocs))
+		}
+		bench("hgbench/fleet/udp1/d2048/s8/obs", []string{"udp1"}, oopts)
 	}
 	out, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
@@ -145,6 +158,10 @@ func main() {
 	}
 	if *maxprocs > 0 {
 		opts = append(opts, hgw.WithMaxProcs(*maxprocs))
+	}
+	var report *hgw.RunReport
+	if *reportOut {
+		opts = append(opts, hgw.WithRunReport(func(rep *hgw.RunReport) { report = rep }))
 	}
 
 	if *benchjson {
@@ -187,6 +204,11 @@ func main() {
 			fmt.Printf("\n===== %s (markdown) =====\n", r.Title)
 			fmt.Print(r.Figure.Markdown())
 		}
+	}
+
+	if report != nil {
+		fmt.Printf("\n===== Run telemetry =====\n")
+		fmt.Print(report.Render())
 	}
 
 	if err != nil {

@@ -5,9 +5,12 @@
 //	hgprobe -exp icmp,sctp,dccp,dns          # shares one testbed
 //	hgprobe -exp udp1 -fleet 200 -shards 4   # synthetic fleet sweep
 //	hgprobe -list                            # the experiment catalog
+//	hgprobe -exp udp1 -fleet 200 -shards 4 -stats   # plus run telemetry
 //
 // Every id in hgw.Registry() works, including bindrate, keepalive and
-// holepunch; -json emits the result envelopes as JSON.
+// holepunch; -json emits the result envelopes as JSON and -stats
+// appends the deterministic run report (counters, gauges, histograms
+// and sampled shard traces).
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 	shards := flag.Int("shards", 1, "partition the fleet across K concurrent sub-testbeds")
 	maxprocs := flag.Int("maxprocs", 0, "max concurrent fleet shard workers (0 = NumCPU; output is identical at any value)")
 	jsonOut := flag.Bool("json", false, "emit result envelopes as JSON")
+	statsOut := flag.Bool("stats", false, "print the run telemetry report after results")
 	verbose := flag.Bool("v", false, "report per-experiment progress on stderr")
 	list := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Parse()
@@ -72,8 +76,16 @@ func main() {
 			if p.Done {
 				state = "done"
 			}
+			if p.Kind == hgw.ProgressShard {
+				fmt.Fprintf(os.Stderr, "[%d/%d] shard %-4d %s\n", p.Index+1, p.Total, p.Shard, state)
+				return
+			}
 			fmt.Fprintf(os.Stderr, "[%d/%d] %-10s %s\n", p.Index+1, p.Total, p.ID, state)
 		}))
+	}
+	var report *hgw.RunReport
+	if *statsOut {
+		opts = append(opts, hgw.WithRunReport(func(rep *hgw.RunReport) { report = rep }))
 	}
 
 	// Print whatever completed before reporting a failure: Run returns
@@ -90,6 +102,14 @@ func main() {
 		for _, r := range results {
 			fmt.Print(r.Render())
 		}
+	}
+	if report != nil {
+		// With -json the report goes to stderr so stdout stays parseable.
+		out := os.Stdout
+		if *jsonOut {
+			out = os.Stderr
+		}
+		fmt.Fprint(out, report.Render())
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hgprobe:", err)

@@ -10,6 +10,11 @@
 //	curl localhost:8080/v1/jobs/job-1
 //	curl localhost:8080/v1/jobs/job-1/stream
 //	curl localhost:8080/v1/stats
+//	curl localhost:8080/metrics              # Prometheus exposition
+//
+// -pprof additionally serves the net/http/pprof profiling handlers
+// under /debug/pprof/ (off by default: profiling endpoints expose
+// stack traces and should be opted into).
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: the listener stops,
 // in-flight simulations are interrupted mid-run (their jobs finish
@@ -23,6 +28,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -35,6 +41,7 @@ func main() {
 	workers := flag.Int("workers", 2, "worker pool size (concurrent jobs)")
 	queue := flag.Int("queue", 16, "job queue depth (submissions past it get 429)")
 	cache := flag.Int("cache", 64, "result cache capacity in completed runs (LRU)")
+	pprofOn := flag.Bool("pprof", false, "serve profiling handlers under /debug/pprof/")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -47,7 +54,22 @@ func main() {
 	if err != nil {
 		log.Fatalf("hgwd: listen: %v", err)
 	}
-	srv := &http.Server{Handler: svc.Handler()}
+	// The API mux is built by the service; profiling handlers mount on
+	// an outer mux only when asked for, so the default surface stays
+	// API-only.
+	handler := svc.Handler()
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.Handle("/", handler)
+		outer.HandleFunc("GET /debug/pprof/", pprof.Index)
+		outer.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		handler = outer
+		log.Print("hgwd: pprof enabled at /debug/pprof/")
+	}
+	srv := &http.Server{Handler: handler}
 	go func() {
 		<-ctx.Done()
 		log.Print("hgwd: shutting down")

@@ -45,38 +45,67 @@ func fleetTrace(t *testing.T, ids []string, opts ...hgw.Option) (render, trace s
 // maxProcs=1 baseline is additionally pinned to the committed golden,
 // so the matrix re-asserts the pre-refactor behavior under multicore
 // execution rather than merely agreeing with itself.
+//
+// The matrix runs with telemetry ON (WithRunReport): the render still
+// matching the pre-telemetry golden proves instrumentation never feeds
+// back into the simulation, and the canonical report — wall-clock and
+// process fields excluded — must itself be byte-identical at every
+// worker count.
 func TestFleetDeterminismMatrix(t *testing.T) {
 	ids := []string{"udp1", "udp3"}
+	var mu sync.Mutex
+	var lastCanon string
 	opts := func(procs int) []hgw.Option {
 		return []hgw.Option{
 			hgw.WithSeed(11), hgw.WithFleet(256), hgw.WithShards(8),
 			hgw.WithIterations(1), hgw.WithMaxProcs(procs),
+			hgw.WithRunReport(func(rep *hgw.RunReport) {
+				mu.Lock()
+				defer mu.Unlock()
+				lastCanon = rep.Canonical()
+			}),
 		}
 	}
+	takeCanon := func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		c := lastCanon
+		lastCanon = ""
+		return c
+	}
 	baseRender, baseTrace := fleetTrace(t, ids, opts(1)...)
+	baseCanon := takeCanon()
 
 	golden, err := os.ReadFile(filepath.Join("testdata", "behavior", "fleet256.golden"))
 	if err != nil {
 		t.Fatalf("missing fleet256 golden: %v", err)
 	}
 	if baseRender != string(golden) {
-		t.Errorf("maxProcs=1 render differs from the committed golden\n--- got ---\n%s\n--- want ---\n%s",
+		t.Errorf("maxProcs=1 render (telemetry on) differs from the committed golden\n--- got ---\n%s\n--- want ---\n%s",
 			baseRender, golden)
 	}
 	if baseTrace == "" {
 		t.Fatal("no device events streamed")
+	}
+	if baseCanon == "" {
+		t.Fatal("no run report delivered")
 	}
 
 	for _, procs := range []int{2, 4, runtime.NumCPU()} {
 		procs := procs
 		t.Run(fmt.Sprintf("maxprocs=%d", procs), func(t *testing.T) {
 			render, trace := fleetTrace(t, ids, opts(procs)...)
+			canon := takeCanon()
 			if render != baseRender {
 				t.Errorf("render at maxProcs=%d differs from maxProcs=1\n--- got ---\n%s\n--- want ---\n%s",
 					procs, render, baseRender)
 			}
 			if trace != baseTrace {
 				t.Errorf("device-event stream at maxProcs=%d differs from maxProcs=1", procs)
+			}
+			if canon != baseCanon {
+				t.Errorf("canonical telemetry report at maxProcs=%d differs from maxProcs=1\n--- got ---\n%s\n--- want ---\n%s",
+					procs, canon, baseCanon)
 			}
 		})
 	}

@@ -34,6 +34,10 @@ func TestDropLintFixtures(t *testing.T) {
 	runFixtures(t, DropLint, "drop/bad", "drop/clean", "drop/allowed")
 }
 
+func TestObsLintFixtures(t *testing.T) {
+	runFixtures(t, ObsLint, "obslint/bad", "obslint/clean", "obslint/allowed")
+}
+
 // TestAnnotationHygiene checks that a malformed annotation is itself a
 // finding: the driver injects them under the pseudo-analyzer name
 // "hgwlint", so a typo cannot silently disable a check.

@@ -90,7 +90,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full hgwlint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetLint, PoolLint, ExhaustLint, DropLint}
+	return []*Analyzer{DetLint, PoolLint, ExhaustLint, DropLint, ObsLint}
 }
 
 // ByName returns the named analyzer, or nil.

@@ -1,0 +1,10 @@
+// Package allowed exercises obslint's annotation path: a justified
+// read from otherwise-deterministic code.
+package allowed
+
+import "obs"
+
+func debugDump(r *obs.Registry) *obs.Snapshot {
+	//hgwlint:allow obslint debug-only dump behind a build tag, never on the simulation path
+	return r.Snapshot()
+}

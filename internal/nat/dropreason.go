@@ -73,3 +73,24 @@ var AllDropReasons = []DropReason{
 	DropUnknownProto, DropUnknownInboundDrop, DropUnknownNoBinding, DropUnhandled,
 	DropHairpinProto, DropHairpinShort, DropHairpinNoBinding, DropHairpinDisabled,
 }
+
+// dropReasonIndex maps each declared reason to its AllDropReasons
+// position, for dense (vector) accounting in internal/obs.
+var dropReasonIndex = func() map[DropReason]int {
+	m := make(map[DropReason]int, len(AllDropReasons))
+	for i, r := range AllDropReasons {
+		m[r] = i
+	}
+	return m
+}()
+
+// Index returns the reason's position in AllDropReasons, or -1 for a
+// reason outside the registry (including DropNone). obs.VecInc clamps
+// -1 into its overflow slot, so unregistered reasons miscount visibly
+// rather than vanish.
+func (r DropReason) Index() int {
+	if i, ok := dropReasonIndex[r]; ok {
+		return i
+	}
+	return -1
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hgw/internal/netpkt"
+	"hgw/internal/obs"
 	"hgw/internal/sim"
 )
 
@@ -234,6 +235,18 @@ func (e *Engine) LookupMapping(proto uint8, client netip.Addr, cport uint16, ser
 
 func (e *Engine) drop(reason DropReason) {
 	e.Drops[reason]++
+	if r := e.s.Obs(); r != nil {
+		idx := reason.Index()
+		r.Inc(obs.CNATDrops)
+		r.VecInc(obs.VecNATDrops, idx)
+		r.Trace(obs.TraceDrop, e.s.Now(), uint32(idx))
+	}
+}
+
+// translated counts one successfully translated packet.
+func (e *Engine) translated() {
+	e.Translations++
+	e.s.Obs().Inc(obs.CNATTranslations)
 }
 
 // CountDrop lets the surrounding device attribute a drop it performs
@@ -307,6 +320,7 @@ func (e *Engine) expire(b *Binding) {
 	if e.byFlow[b.flow] != b {
 		return
 	}
+	e.s.Obs().Inc(obs.CNATBindingsExpired)
 	e.remove(b)
 	if !e.pol.ReuseExpiredBinding {
 		e.quarantine[b.flow] = quarEntry{port: b.ext, until: e.s.Now() + e.pol.ReuseQuarantine}
@@ -323,6 +337,7 @@ func (e *Engine) remove(b *Binding) {
 		delete(m.sessions, epKey{b.flow.server, b.flow.sport})
 		if len(m.sessions) == 0 {
 			delete(e.mappings, m.key)
+			e.s.Obs().GaugeDec(obs.GNATMappings)
 			if o != nil {
 				o.dropMapping(m)
 			}
@@ -336,6 +351,12 @@ func (e *Engine) remove(b *Binding) {
 	}
 	if b.flow.proto == netpkt.ProtoTCP {
 		e.tcpCount--
+	}
+	if r := e.s.Obs(); r != nil {
+		r.Inc(obs.CNATBindingsRemoved)
+		r.GaugeDec(obs.GNATBindings)
+		r.Observe(obs.HNATBindingLifetime, e.s.Now()-b.created)
+		r.Trace(obs.TraceBindingExpire, e.s.Now(), uint32(b.ext))
 	}
 }
 
@@ -454,6 +475,10 @@ func (e *Engine) newSession(flow flowKey) *Binding {
 		}
 		m = &Mapping{key: mk, ext: ext, sessions: make(map[epKey]*Binding, 1)}
 		e.mappings[mk] = m
+		if r := e.s.Obs(); r != nil {
+			r.Inc(obs.CNATMappingsCreated)
+			r.GaugeInc(obs.GNATMappings)
+		}
 	}
 	return e.addSession(m, flow)
 }
@@ -477,6 +502,11 @@ func (e *Engine) addSession(m *Mapping, flow flowKey) *Binding {
 	}
 	if flow.proto == netpkt.ProtoTCP {
 		e.tcpCount++
+	}
+	if r := e.s.Obs(); r != nil {
+		r.Inc(obs.CNATBindingsCreated)
+		r.GaugeInc(obs.GNATBindings)
+		r.Trace(obs.TraceBindingCreate, e.s.Now(), uint32(m.ext))
 	}
 	return b
 }
@@ -576,7 +606,7 @@ func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
 			binary.BigEndian.PutUint16(ip.Payload[6:8], sum)
 		}
 		ip.Src = e.wan
-		e.Translations++
+		e.translated()
 		return true
 
 	case netpkt.ProtoTCP:
@@ -610,7 +640,7 @@ func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
 		sum = netpkt.ChecksumAdjustAddr(sum, ip.Src, e.wan)
 		binary.BigEndian.PutUint16(ip.Payload[16:18], sum)
 		ip.Src = e.wan
-		e.Translations++
+		e.translated()
 		return true
 
 	case netpkt.ProtoICMP:
@@ -631,11 +661,11 @@ func (e *Engine) Outbound(ip *netpkt.IPv4) bool {
 				e.arm(e.byFlow[flow], e.pol.UDP.Bidir)
 			}
 			ip.Src = e.wan // transport checksum left stale: that is the point
-			e.Translations++
+			e.translated()
 			return true
 		case UnknownPassUntouched:
 			// Forward with the private source address intact.
-			e.Translations++
+			e.translated()
 			return true
 		}
 	}
@@ -738,7 +768,7 @@ func (e *Engine) Inbound(ip *netpkt.IPv4) bool {
 			binary.BigEndian.PutUint16(ip.Payload[6:8], sum)
 		}
 		ip.Dst = b.flow.client
-		e.Translations++
+		e.translated()
 		return true
 
 	case netpkt.ProtoTCP:
@@ -763,7 +793,7 @@ func (e *Engine) Inbound(ip *netpkt.IPv4) bool {
 		sum = netpkt.ChecksumAdjustAddr(sum, ip.Dst, b.flow.client)
 		binary.BigEndian.PutUint16(ip.Payload[16:18], sum)
 		ip.Dst = b.flow.client
-		e.Translations++
+		e.translated()
 		return true
 
 	case netpkt.ProtoICMP:
@@ -786,13 +816,13 @@ func (e *Engine) Inbound(ip *netpkt.IPv4) bool {
 			}
 			e.arm(b, e.pol.UDP.Bidir)
 			ip.Dst = b.flow.client
-			e.Translations++
+			e.translated()
 			return true
 		case UnknownPassUntouched:
 			// The packet is addressed to a private address we never
 			// translated; nothing sensible to do — forward as-is if it
 			// happens to be routable on the LAN.
-			e.Translations++
+			e.translated()
 			return true
 		}
 		e.drop(DropUnknownProto)
@@ -841,6 +871,6 @@ func (e *Engine) InboundHairpin(ip *netpkt.IPv4) bool {
 		netpkt.FixTCPChecksum(ip.Payload, ip.Src, o.client)
 	}
 	ip.Dst = o.client
-	e.Translations++
+	e.translated()
 	return true
 }

@@ -3,6 +3,8 @@ package netpkt
 import (
 	"bytes"
 	"testing"
+
+	"hgw/internal/obs"
 )
 
 // TestAllocsMarshalParse pins the allocation counts of the codec hot
@@ -147,4 +149,33 @@ func TestMarshalPooledBytesIdentical(t *testing.T) {
 		t.Fatalf("pooled marshal differs from plain:\nplain  %x\npooled %x", plain, pooled)
 	}
 	PutBuf(pooled)
+}
+
+// TestPoolCountersTrackTraffic checks the pool reports gets/puts (and
+// frame traffic) to obs.Proc. Miss counts are GC-dependent, so only
+// monotonicity is asserted there; the alloc pins above already prove
+// the accounting itself is free.
+func TestPoolCountersTrackTraffic(t *testing.T) {
+	before := obs.Proc.Snapshot()
+	b := GetBuf(64)
+	PutBuf(b)
+	f := GetFrame()
+	PutFrame(f)
+	GetBuf(1 << 20) // oversize: allocator path, not counted
+	after := obs.Proc.Snapshot()
+	if got := after.PoolGets - before.PoolGets; got != 1 {
+		t.Errorf("pool gets moved by %d, want 1 (oversize must not count)", got)
+	}
+	if got := after.PoolPuts - before.PoolPuts; got != 1 {
+		t.Errorf("pool puts moved by %d, want 1", got)
+	}
+	if got := after.FrameGets - before.FrameGets; got != 1 {
+		t.Errorf("frame gets moved by %d, want 1", got)
+	}
+	if got := after.FramePuts - before.FramePuts; got != 1 {
+		t.Errorf("frame puts moved by %d, want 1", got)
+	}
+	if after.PoolMisses < before.PoolMisses {
+		t.Errorf("pool misses went backwards: %d -> %d", before.PoolMisses, after.PoolMisses)
+	}
 }

@@ -1,6 +1,10 @@
 package netpkt
 
-import "sync"
+import (
+	"sync"
+
+	"hgw/internal/obs"
+)
 
 // Packet-buffer pooling. Marshal runs for every hop of every packet, so
 // the simulation's steady-state garbage is dominated by wire buffers.
@@ -25,9 +29,13 @@ const (
 	bufCapLarge = 2048
 )
 
+// The pools report hit/miss traffic to obs.Proc (process-wide atomics,
+// not the deterministic per-shard registries: sync.Pool reuse depends
+// on GC timing and scheduling, so these counts are diagnostics, never
+// part of a run's canonical output).
 var (
-	bufPoolSmall = sync.Pool{New: func() any { return new([bufCapSmall]byte) }}
-	bufPoolLarge = sync.Pool{New: func() any { return new([bufCapLarge]byte) }}
+	bufPoolSmall = sync.Pool{New: func() any { obs.Proc.PoolMiss(); return new([bufCapSmall]byte) }}
+	bufPoolLarge = sync.Pool{New: func() any { obs.Proc.PoolMiss(); return new([bufCapLarge]byte) }}
 )
 
 // GetBuf returns an empty buffer with capacity at least n. The contents
@@ -35,8 +43,10 @@ var (
 func GetBuf(n int) []byte {
 	switch {
 	case n <= bufCapSmall:
+		obs.Proc.PoolGet()
 		return bufPoolSmall.Get().(*[bufCapSmall]byte)[:0]
 	case n <= bufCapLarge:
+		obs.Proc.PoolGet()
 		return bufPoolLarge.Get().(*[bufCapLarge]byte)[:0]
 	default:
 		return make([]byte, 0, n)
@@ -51,8 +61,10 @@ func GetBuf(n int) []byte {
 func PutBuf(b []byte) {
 	switch cap(b) {
 	case bufCapSmall:
+		obs.Proc.PoolPut()
 		bufPoolSmall.Put((*[bufCapSmall]byte)(b[:bufCapSmall:bufCapSmall]))
 	case bufCapLarge:
+		obs.Proc.PoolPut()
 		bufPoolLarge.Put((*[bufCapLarge]byte)(b[:bufCapLarge:bufCapLarge]))
 	}
 }
@@ -64,6 +76,7 @@ var framePool = sync.Pool{New: func() any { return new(Frame) }}
 // struct (not the payload, which parsed views may alias) once frame
 // processing ends.
 func GetFrame() *Frame {
+	obs.Proc.FrameGet()
 	return framePool.Get().(*Frame)
 }
 
@@ -71,6 +84,7 @@ func GetFrame() *Frame {
 // reference to the struct remains; the payload buffer is NOT recycled
 // (use PutBuf separately when it too is provably dead).
 func PutFrame(f *Frame) {
+	obs.Proc.FramePut()
 	*f = Frame{}
 	framePool.Put(f)
 }

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count shared by every histogram:
+// eleven finite upper bounds (powers of four from 1ms, spanning sub-
+// tick callbacks to multi-hour binding lifetimes on the virtual clock
+// and queue waits to long fleet jobs on the wall clock) plus +Inf.
+const NumBuckets = 12
+
+// bucketBounds are the finite upper bounds; bucket i counts
+// observations d <= bucketBounds[i], the last bucket is +Inf.
+var bucketBounds = [NumBuckets - 1]time.Duration{
+	1 * time.Millisecond,
+	4 * time.Millisecond,
+	16 * time.Millisecond,
+	64 * time.Millisecond,
+	256 * time.Millisecond,
+	1024 * time.Millisecond,
+	4096 * time.Millisecond,
+	16384 * time.Millisecond,
+	65536 * time.Millisecond,
+	262144 * time.Millisecond,
+	1048576 * time.Millisecond,
+}
+
+// BucketBounds returns a copy of the finite bucket upper bounds, for
+// report rendering and Prometheus `le` labels.
+func BucketBounds() []time.Duration {
+	return append([]time.Duration(nil), bucketBounds[:]...)
+}
+
+// bucketFor maps an observation to its bucket index. The linear scan
+// over eleven bounds is branch-predictable and allocation-free.
+func bucketFor(d time.Duration) int {
+	for i, b := range bucketBounds {
+		if d <= b {
+			return i
+		}
+	}
+	return NumBuckets - 1
+}
+
+// histo is one deterministic single-writer histogram.
+type histo struct {
+	count   uint64
+	sum     int64 // nanoseconds
+	buckets [NumBuckets]uint64
+}
+
+func (h *histo) observe(d time.Duration) {
+	h.count++
+	h.sum += int64(d)
+	h.buckets[bucketFor(d)]++
+}
+
+// HistoValue is a histogram's snapshot form. Buckets are per-bucket
+// (non-cumulative) counts parallel to BucketBounds plus the +Inf slot.
+type HistoValue struct {
+	Count   uint64             `json:"count"`
+	SumNS   int64              `json:"sum_ns"`
+	Buckets [NumBuckets]uint64 `json:"buckets"`
+}
+
+// add accumulates o into v (merge step).
+func (v *HistoValue) add(o HistoValue) {
+	v.Count += o.Count
+	v.SumNS += o.SumNS
+	for i := range v.Buckets {
+		v.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// AtomicHisto is the concurrent-writer histogram for the operational
+// edge (hgwd's per-job wall durations): same fixed buckets, atomic
+// slots. The zero value is ready to use. Deterministic packages have
+// no business with it — wall durations are exactly what must not leak
+// into simulation state — and obslint treats Observe as a write and
+// Snapshot as a read like everything else.
+type AtomicHisto struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *AtomicHisto) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.buckets[bucketFor(d)].Add(1)
+}
+
+// Snapshot returns the histogram's current totals. Concurrent writers
+// make the snapshot approximate (slots are read independently), which
+// is fine for exposition.
+func (h *AtomicHisto) Snapshot() HistoValue {
+	var v HistoValue
+	v.Count = h.count.Load()
+	v.SumNS = h.sum.Load()
+	for i := range h.buckets {
+		v.Buckets[i] = h.buckets[i].Load()
+	}
+	return v
+}

@@ -1,0 +1,81 @@
+package obs
+
+import "sync/atomic"
+
+// ProcStats is the process-wide telemetry block for values that are
+// inherently nondeterministic — sync.Pool hit rates depend on GC
+// timing, goroutine and shard counts on scheduling — and therefore
+// live outside the per-shard Registry and outside every determinism-
+// compared form. Writers are concurrent (netpkt's pools, every sim
+// process goroutine, every fleet worker), so the slots are atomics.
+//
+// The same write-only discipline applies: deterministic packages bump
+// these counters and never read them back (obslint enforces it); the
+// operational edge (hgwd's /metrics, RunReport's process section)
+// reads via Snapshot.
+type ProcStats struct {
+	poolGets   atomic.Uint64
+	poolMisses atomic.Uint64
+	poolPuts   atomic.Uint64
+	frameGets  atomic.Uint64
+	framePuts  atomic.Uint64
+	simProcs   atomic.Int64
+	liveShards atomic.Int64
+}
+
+// Proc is the process-wide instance every writer shares.
+var Proc ProcStats
+
+// PoolGet counts one pooled-buffer draw.
+func (p *ProcStats) PoolGet() { p.poolGets.Add(1) }
+
+// PoolMiss counts a draw the pool could not serve (fresh allocation).
+func (p *ProcStats) PoolMiss() { p.poolMisses.Add(1) }
+
+// PoolPut counts one buffer returned to the pool.
+func (p *ProcStats) PoolPut() { p.poolPuts.Add(1) }
+
+// FrameGet counts one pooled-frame draw.
+func (p *ProcStats) FrameGet() { p.frameGets.Add(1) }
+
+// FramePut counts one frame returned to the pool.
+func (p *ProcStats) FramePut() { p.framePuts.Add(1) }
+
+// SimProcUp / SimProcDown track live simulator process goroutines.
+// The pair is the goroutine-leak tripwire: after a completed run whose
+// simulators were Shutdown, the gauge must return to its baseline.
+func (p *ProcStats) SimProcUp() { p.simProcs.Add(1) }
+
+// SimProcDown is SimProcUp's exit-side counterpart.
+func (p *ProcStats) SimProcDown() { p.simProcs.Add(-1) }
+
+// ShardUp / ShardDown track fleet shards built and not yet released.
+func (p *ProcStats) ShardUp() { p.liveShards.Add(1) }
+
+// ShardDown is ShardUp's release-side counterpart.
+func (p *ProcStats) ShardDown() { p.liveShards.Add(-1) }
+
+// ProcSnapshot is the read-side form of ProcStats.
+type ProcSnapshot struct {
+	PoolGets   uint64 `json:"pool_gets"`
+	PoolMisses uint64 `json:"pool_misses"`
+	PoolPuts   uint64 `json:"pool_puts"`
+	FrameGets  uint64 `json:"frame_gets"`
+	FramePuts  uint64 `json:"frame_puts"`
+	SimProcs   int64  `json:"sim_procs"`
+	LiveShards int64  `json:"live_shards"`
+}
+
+// Snapshot reads the current process-wide values. Slots are loaded
+// independently, so concurrent writers make the snapshot approximate.
+func (p *ProcStats) Snapshot() ProcSnapshot {
+	return ProcSnapshot{
+		PoolGets:   p.poolGets.Load(),
+		PoolMisses: p.poolMisses.Load(),
+		PoolPuts:   p.poolPuts.Load(),
+		FrameGets:  p.frameGets.Load(),
+		FramePuts:  p.framePuts.Load(),
+		SimProcs:   p.simProcs.Load(),
+		LiveShards: p.liveShards.Load(),
+	}
+}

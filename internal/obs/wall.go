@@ -1,0 +1,23 @@
+package obs
+
+import "time"
+
+// This file is the module's wall clock. Packages under the equal-seed
+// contract (the hgw root runner above all) must not read time.Now
+// directly — detlint forbids it — and must not capture wall time into
+// anything a simulation decision can observe. Routing the two reads
+// they legitimately need (stamping shard wall durations into the
+// report's excluded-from-canonical fields) through obs makes the
+// ownership auditable: obslint classifies Now and Since as read APIs,
+// so a deterministic engine package calling them is a finding, while
+// the merge boundary uses them freely.
+
+// Now reads the wall clock.
+func Now() time.Time {
+	return time.Now() //hgwlint:allow detlint obs owns the module's wall clock (DESIGN.md §13)
+}
+
+// Since reports the wall time elapsed since t.
+func Since(t time.Time) time.Duration {
+	return time.Since(t) //hgwlint:allow detlint obs owns the module's wall clock (DESIGN.md §13)
+}

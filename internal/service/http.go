@@ -22,6 +22,7 @@ import (
 //	                          row, streamed live while the job runs and
 //	                          replayed verbatim for cached jobs
 //	GET  /v1/stats            cache/queue/worker counters
+//	GET  /metrics             Prometheus text exposition (see metrics.go)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
@@ -30,6 +31,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 

@@ -1,0 +1,141 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hgw/internal/service"
+)
+
+// scrape fetches /metrics and returns the sample lines keyed by the
+// full series name (label set included), failing on any line that does
+// not parse as `name value` or a #-comment.
+func scrape(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := map[string]float64{}
+	for i, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 0 {
+			t.Fatalf("metrics line %d has no value: %q", i+1, line)
+		}
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			t.Fatalf("metrics line %d value %q: %v", i+1, line[cut+1:], err)
+		}
+		samples[line[:cut]] = v
+	}
+	return samples
+}
+
+// TestMetricsEndToEnd is the acceptance check for the observability
+// surface: /metrics serves parseable Prometheus text whose cache-hit
+// counter increments when a byte-identical job is answered from cache,
+// and /v1/stats reports uptime, queue and per-status job counts.
+func TestMetricsEndToEnd(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	svc.Start(context.Background())
+	defer svc.Shutdown()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	before := scrape(t, srv.URL)
+	for _, name := range []string{
+		"hgwd_cache_hits_total", "hgwd_cache_misses_total",
+		"hgwd_queue_depth", "hgwd_queue_capacity",
+		"hgwd_workers", "hgwd_workers_busy",
+		"hgwd_uptime_seconds",
+		`hgwd_jobs{status="queued"}`, `hgwd_jobs{status="done"}`,
+		`hgwd_job_duration_seconds_bucket{le="+Inf"}`,
+		"hgwd_job_duration_seconds_sum", "hgwd_job_duration_seconds_count",
+		"hgw_pool_gets_total", "hgw_live_shards", "go_goroutines",
+	} {
+		if _, ok := before[name]; !ok {
+			t.Errorf("metrics exposition is missing %s", name)
+		}
+	}
+	if before["hgwd_workers"] != 1 {
+		t.Errorf("hgwd_workers = %v, want 1", before["hgwd_workers"])
+	}
+
+	// One real run, then the byte-identical resubmission.
+	spec := service.Spec{IDs: []string{"udp1"}, Seed: 3, Iterations: 1}
+	submitted, _ := postJob(t, srv.URL, spec)
+	done := getJob(t, srv.URL, submitted.ID, time.Minute)
+	if done.Status != service.StatusDone {
+		t.Fatalf("job finished %s: %s", done.Status, done.Error)
+	}
+	cachedView, code := postJob(t, srv.URL, spec)
+	if code != http.StatusOK || !cachedView.Cached {
+		t.Fatalf("resubmission: code=%d cached=%v, want 200 from cache", code, cachedView.Cached)
+	}
+
+	after := scrape(t, srv.URL)
+	if got := after["hgwd_cache_hits_total"] - before["hgwd_cache_hits_total"]; got != 1 {
+		t.Errorf("hgwd_cache_hits_total advanced by %v after a cache hit, want 1", got)
+	}
+	if after["hgwd_cache_misses_total"] <= before["hgwd_cache_misses_total"] {
+		t.Errorf("hgwd_cache_misses_total did not advance for the first run")
+	}
+	if got := after[`hgwd_job_duration_seconds_bucket{le="+Inf"}`]; got != 1 {
+		t.Errorf("job duration histogram count = %v, want 1 (cache hit must not observe)", got)
+	}
+	if after[`hgwd_jobs{status="done"}`] != 2 {
+		t.Errorf(`hgwd_jobs{status="done"} = %v, want 2`, after[`hgwd_jobs{status="done"}`])
+	}
+
+	// No cumulative bucket may exceed the +Inf count.
+	inf := after[`hgwd_job_duration_seconds_bucket{le="+Inf"}`]
+	for name, v := range after {
+		if strings.HasPrefix(name, "hgwd_job_duration_seconds_bucket{") && v > inf {
+			t.Errorf("bucket %s = %v exceeds +Inf count %v", name, v, inf)
+		}
+	}
+
+	// /v1/stats carries the operational fields.
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.UptimeMS <= 0 {
+		t.Errorf("stats uptime_ms = %v, want > 0", stats.UptimeMS)
+	}
+	if stats.WorkersBusy != 0 {
+		t.Errorf("stats workers_busy = %d with no job in flight, want 0", stats.WorkersBusy)
+	}
+	if stats.Jobs[service.StatusDone] != 2 {
+		t.Errorf("stats jobs[done] = %d, want 2", stats.Jobs[service.StatusDone])
+	}
+	if stats.QueueCapacity == 0 {
+		t.Error("stats queue_capacity = 0, want the configured default")
+	}
+}

@@ -14,9 +14,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hgw"
+	"hgw/internal/obs"
 )
 
 // Spec is a job request: the subset of hgw.Run inputs a client can
@@ -267,8 +269,15 @@ type Stats struct {
 	QueueDepth    int            `json:"queue_depth"`
 	QueueCapacity int            `json:"queue_capacity"`
 	Workers       int            `json:"workers"`
+	WorkersBusy   int            `json:"workers_busy"`
+	UptimeMS      float64        `json:"uptime_ms"`
 	Jobs          map[Status]int `json:"jobs"`
 }
+
+// allStatuses lists every job lifecycle state, for stable rendering of
+// per-status gauges (the /metrics exposition iterates this, never the
+// Jobs map).
+var allStatuses = []Status{StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCanceled}
 
 // Service is the measurement daemon's core: queue, workers and cache.
 // Create with New, begin draining with Start, stop with Shutdown.
@@ -285,6 +294,10 @@ type Service struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	started time.Time       // set by Start; zero until then
+	busy    atomic.Int64    // workers currently inside hgw.Run
+	jobDur  obs.AtomicHisto // wall durations of actually-executed jobs
 }
 
 // New builds a Service from cfg. Jobs are not accepted until Start.
@@ -308,6 +321,7 @@ func (s *Service) Start(ctx context.Context) {
 		return
 	}
 	s.ctx, s.cancel = context.WithCancel(ctx)
+	s.started = time.Now()
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -385,7 +399,14 @@ func (s *Service) Stats() Stats {
 		QueueDepth:    len(s.queue),
 		QueueCapacity: cap(s.queue),
 		Workers:       s.cfg.Workers,
+		WorkersBusy:   int(s.busy.Load()),
 		Jobs:          map[Status]int{},
+	}
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if !started.IsZero() {
+		st.UptimeMS = float64(time.Since(started)) / float64(time.Millisecond)
 	}
 	for _, j := range s.Jobs() {
 		st.Jobs[j.Status()]++
@@ -448,6 +469,8 @@ func (s *Service) runJob(job *Job) {
 	if !job.setRunning() {
 		return
 	}
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
 	opts := job.Spec.options()
 	if job.Spec.Fleet > 0 {
 		opts = append(opts, hgw.WithDeviceResults(job.appendEvent))
@@ -455,6 +478,7 @@ func (s *Service) runJob(job *Job) {
 	start := time.Now()
 	results, err := hgw.Run(s.ctx, job.Spec.IDs, opts...)
 	elapsed := time.Since(start)
+	s.jobDur.Observe(elapsed)
 	if err != nil {
 		status := StatusFailed
 		if s.ctx.Err() != nil {

@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 	"time"
+
+	"hgw/internal/obs"
 )
 
 // TestAllocsEventChurn pins the steady-state allocation count of the
@@ -141,5 +143,117 @@ func TestHorizonLeavesFutureEvents(t *testing.T) {
 	s.Run(0)
 	if fired != 2 || s.Pending() != 0 {
 		t.Fatalf("fired=%d pending=%d after drain", fired, s.Pending())
+	}
+}
+
+// TestAllocsEventChurnWithObs re-runs the churn pin with a live
+// telemetry registry installed: the instrumented schedule/fire/cancel
+// paths must stay allocation-free, and the counters must actually
+// move. A single alloc per counted event would erase the slab's whole
+// point (ISSUE 8's <5% obs-overhead budget assumes branch-only cost).
+func TestAllocsEventChurnWithObs(t *testing.T) {
+	s := New(1)
+	reg := obs.NewRegistry()
+	s.SetObs(reg)
+	fn := func() {}
+	for j := 0; j < 256; j++ {
+		s.After(time.Duration(j)*time.Microsecond, fn)
+	}
+	s.Run(0)
+
+	if n := testing.AllocsPerRun(100, func() {
+		for j := 0; j < 64; j++ {
+			s.After(time.Duration(j)*time.Microsecond, fn)
+		}
+		s.Run(0)
+	}); n != 0 {
+		t.Fatalf("instrumented schedule/fire churn allocates %.1f objects per run, want 0", n)
+	}
+
+	if n := testing.AllocsPerRun(100, func() {
+		for j := 0; j < 64; j++ {
+			ev := s.After(time.Duration(j+1)*time.Second, fn)
+			ev.Cancel()
+		}
+		s.Run(0)
+	}); n != 0 {
+		t.Fatalf("instrumented schedule/cancel churn allocates %.1f objects per run, want 0", n)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters[obs.CSimEventsScheduled] == 0 ||
+		snap.Counters[obs.CSimEventsFired] == 0 ||
+		snap.Counters[obs.CSimEventsCanceled] == 0 {
+		t.Fatalf("instrumented churn left counters at zero: %v", snap.Counters)
+	}
+	if snap.Gauges[obs.GSimSlabSlots].Peak == 0 {
+		t.Fatalf("slab high-water gauge never set")
+	}
+}
+
+// TestObsCountersMatchQueueSemantics cross-checks the telemetry
+// counters against the queue's own accounting on a mixed workload.
+func TestObsCountersMatchQueueSemantics(t *testing.T) {
+	s := New(7)
+	reg := obs.NewRegistry()
+	s.SetObs(reg)
+	fn := func() {}
+	var cancels []Event
+	for i := 0; i < 100; i++ {
+		ev := s.After(time.Duration(i)*time.Millisecond, fn)
+		if i%3 == 0 {
+			cancels = append(cancels, ev)
+		}
+	}
+	for _, ev := range cancels {
+		ev.Cancel()
+	}
+	s.Run(0)
+	snap := reg.Snapshot()
+	sched := snap.Counters[obs.CSimEventsScheduled]
+	fired := snap.Counters[obs.CSimEventsFired]
+	canceled := snap.Counters[obs.CSimEventsCanceled]
+	if sched != 100 {
+		t.Errorf("scheduled = %d, want 100", sched)
+	}
+	if canceled != uint64(len(cancels)) {
+		t.Errorf("canceled = %d, want %d", canceled, len(cancels))
+	}
+	if fired+canceled != sched {
+		t.Errorf("fired(%d) + canceled(%d) != scheduled(%d)", fired, canceled, sched)
+	}
+}
+
+// TestProcGoroutineGaugeBaseline is the tripwire for the Shutdown leak
+// fix: spawned process goroutines must return the process-wide gauge
+// to its baseline both when processes exit on their own and when
+// Shutdown unwinds parked ones.
+func TestProcGoroutineGaugeBaseline(t *testing.T) {
+	base := obs.Proc.Snapshot().SimProcs
+	s := New(3)
+	for i := 0; i < 8; i++ {
+		s.Spawn("worker", func(p *Proc) { p.Sleep(time.Second) })
+	}
+	// A server that parks forever: only Shutdown can release it.
+	s.Spawn("server", func(p *Proc) {
+		for {
+			p.Sleep(time.Hour)
+		}
+	})
+	s.Run(2 * time.Second)
+	s.Shutdown()
+	if got := obs.Proc.Snapshot().SimProcs; got != base {
+		t.Fatalf("sim proc gauge = %d after Shutdown, want baseline %d", got, base)
+	}
+	if reg := obs.NewRegistry(); reg != nil {
+		// Spawn counting is registry-side; re-check on a fresh sim.
+		s2 := New(4)
+		s2.SetObs(reg)
+		s2.Spawn("p", func(p *Proc) {})
+		s2.Run(0)
+		s2.Shutdown()
+		if n := reg.Snapshot().Counters[obs.CSimProcsSpawned]; n != 1 {
+			t.Fatalf("spawn counter = %d, want 1", n)
+		}
 	}
 }

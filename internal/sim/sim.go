@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"hgw/internal/obs"
 )
 
 // Time is an absolute instant on the simulator's virtual clock, expressed
@@ -66,6 +68,7 @@ func (e *Event) Cancel() {
 	rec.fn = nil // release the closure now; the slot drains lazily
 	e.s.live--
 	e.s.dead++
+	e.s.obs.Inc(obs.CSimEventsCanceled)
 	e.s.maybeCompact()
 }
 
@@ -102,6 +105,11 @@ type Sim struct {
 	killing     bool          // Shutdown in progress: parked processes die on wake
 	all         []*Proc       // every spawned process, for Shutdown
 	label       func() string // optional diagnostics
+	// obs is the telemetry registry this simulator writes (nil = no
+	// telemetry; every write is a nil-safe no-op). The simulator only
+	// ever writes it — reading telemetry back into scheduling would
+	// break the equal-seed contract, and obslint forbids it.
+	obs *obs.Registry
 }
 
 // New returns a simulator whose random source is seeded with seed.
@@ -115,6 +123,17 @@ func New(seed int64) *Sim {
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
+
+// SetObs installs the telemetry registry the simulator (and the layers
+// it drives: the NAT engines reach it through Obs) writes event
+// counters into. Install it at construction time, before any events
+// are scheduled; nil disables telemetry (the default).
+func (s *Sim) SetObs(r *obs.Registry) { s.obs = r }
+
+// Obs returns the simulator's telemetry registry (nil when telemetry
+// is off). Layers sharing the simulator use it as their write handle;
+// the registry's write API is nil-safe, so callers never check.
+func (s *Sim) Obs() *obs.Registry { return s.obs }
 
 // Rand returns the simulator's deterministic random source.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
@@ -144,11 +163,13 @@ func (s *Sim) At(t Time, fn func()) Event {
 	} else {
 		s.slab = append(s.slab, eventRec{gen: 1})
 		idx = int32(len(s.slab) - 1)
+		s.obs.GaugeSet(obs.GSimSlabSlots, int64(len(s.slab)))
 	}
 	rec := &s.slab[idx]
 	rec.at, rec.seq, rec.fn, rec.canceled = t, s.seq, fn, false
 	s.heapPush(idx)
 	s.live++
+	s.obs.Inc(obs.CSimEventsScheduled)
 	return Event{s: s, idx: idx, gen: rec.gen}
 }
 
@@ -224,6 +245,8 @@ func (s *Sim) maybeCompact() {
 	if s.dead < 64 || s.dead*2 <= len(s.heap) {
 		return
 	}
+	s.obs.Inc(obs.CSimCompactions)
+	s.obs.Trace(obs.TraceCompaction, s.now, uint32(s.dead))
 	kept := s.heap[:0]
 	for _, idx := range s.heap {
 		if s.slab[idx].canceled {
@@ -308,6 +331,7 @@ func (s *Sim) Run(horizon time.Duration) Time {
 		s.live--
 		s.recycle(idx)
 		s.now = at
+		s.obs.Inc(obs.CSimEventsFired)
 		fn()
 	}
 	return s.now
@@ -357,10 +381,16 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 	p.handoffFn = p.handoff
 	p.wakeFn = p.scheduleWake
 	s.procs++
+	s.obs.Inc(obs.CSimProcsSpawned)
 	s.all = append(s.all, p)
 	s.At(s.now, func() {
 		p.started = true
 		go func() {
+			// The process-goroutine gauge brackets the goroutine's whole
+			// life; Down runs before the final token send so the count is
+			// back at baseline by the time Run or Shutdown returns (the
+			// goroutine-leak tripwire test depends on that ordering).
+			obs.Proc.SimProcUp()
 			<-p.resume
 			runProc(fn, p)
 			p.exited = true
@@ -369,6 +399,7 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 				j.scheduleWake()
 			}
 			p.joiners = nil
+			obs.Proc.SimProcDown()
 			s.token <- struct{}{}
 		}()
 		p.handoff()

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"hgw/internal/gateway"
+	"hgw/internal/obs"
 	"hgw/internal/sim"
 )
 
@@ -102,7 +103,13 @@ func Partition(n, k int) []int {
 // arguments build byte-identical shards regardless of what any other
 // shard is doing — the property that lets fleet runners build, sweep
 // and discard shards on concurrent workers.
-func BuildShard(profiles []gateway.Profile, index, offset int, seed int64) (sh *Shard, err error) {
+//
+// reg, when non-nil, attaches a per-shard telemetry registry to the
+// shard's simulator before any event runs. Registry writes never feed
+// back into the simulation (obslint enforces write-only use from
+// deterministic packages), so a nil and a non-nil registry build
+// byte-identical shards.
+func BuildShard(profiles []gateway.Profile, index, offset int, seed int64, reg *obs.Registry) (sh *Shard, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			sh, err = nil, fmt.Errorf("testbed: fleet shard %d: %v", index, p)
@@ -112,6 +119,7 @@ func BuildShard(profiles []gateway.Profile, index, offset int, seed int64) (sh *
 		Profiles: profiles,
 		Seed:     ShardSeed(seed, index),
 		VLANBase: ShardVLANBase(offset, index),
+		Obs:      reg,
 	})
 	return &Shard{Index: index, Testbed: tb, Sim: s, Offset: offset}, nil
 }
@@ -143,7 +151,7 @@ func BuildFleet(cfg FleetConfig) ([]*Shard, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			shards[i], errs[i] = BuildShard(cfg.Profiles[bounds[i]:bounds[i+1]], i, bounds[i], cfg.Seed)
+			shards[i], errs[i] = BuildShard(cfg.Profiles[bounds[i]:bounds[i+1]], i, bounds[i], cfg.Seed, nil)
 		}()
 	}
 	wg.Wait()

@@ -18,6 +18,7 @@ import (
 	"hgw/internal/gateway"
 	"hgw/internal/netem"
 	"hgw/internal/netpkt"
+	"hgw/internal/obs"
 	"hgw/internal/sctp"
 	"hgw/internal/sim"
 	"hgw/internal/stack"
@@ -86,6 +87,11 @@ type Config struct {
 	// 1000). Sharded fleets give each shard a disjoint VLAN range so a
 	// fleet reads as one switched topology split across sub-testbeds.
 	VLANBase int
+	// Obs, when non-nil, is attached to the simulator (sim.SetObs)
+	// before any event runs, so the whole build/boot/sweep trajectory
+	// is accounted. Telemetry is write-only from simulation code
+	// (obslint), so attaching a registry never changes the run.
+	Obs *obs.Registry
 }
 
 // MaxNodes bounds the devices a single testbed can address: node
@@ -291,6 +297,7 @@ func (tb *Testbed) Start(p *sim.Proc) error {
 // working testbed).
 func Run(cfg Config) (*Testbed, *sim.Sim) {
 	s := sim.New(cfg.Seed + 1)
+	s.SetObs(cfg.Obs)
 	tb := Build(s, cfg)
 	var startErr error
 	done := s.Spawn("testbed-start", func(p *sim.Proc) {

@@ -31,6 +31,8 @@ type settings struct {
 	fleet       int
 	shards      int
 	deviceCB    func(DeviceEvent)
+	report      bool
+	reportCB    func(*RunReport)
 }
 
 func newSettings(opts []Option) settings {
@@ -219,6 +221,21 @@ func WithFleet(n int) Option {
 // maxProcs, not the shard count.)
 func WithShards(k int) Option {
 	return func(s *settings) { s.shards = k }
+}
+
+// WithRunReport requests run telemetry: each fleet shard (or inventory
+// lane) gets a per-shard obs registry, and when the run finishes fn
+// receives the assembled RunReport (fn may be nil to collect the
+// report for Runner.Report only). Telemetry observes a run without
+// influencing it — registries are write-only from simulation code
+// (obslint) and the report rides outside the result path — so CacheKey
+// deliberately ignores this option, like the other callbacks, and
+// equal-seed runs render byte-identically with or without it.
+func WithRunReport(fn func(*RunReport)) Option {
+	return func(s *settings) {
+		s.report = true
+		s.reportCB = fn
+	}
 }
 
 // DeviceEvent is delivered to a WithDeviceResults callback once per

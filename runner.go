@@ -6,25 +6,52 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"hgw/internal/gateway"
+	"hgw/internal/obs"
 	"hgw/internal/report"
 	"hgw/internal/stats"
 	"hgw/internal/testbed"
+)
+
+// ProgressKind distinguishes the event classes a WithProgress callback
+// receives. The zero value is ProgressExperiment, so callbacks written
+// before shard events existed keep working unchanged.
+type ProgressKind int
+
+const (
+	// ProgressExperiment marks experiment start/finish events (the
+	// default kind; ID, Index and Total describe the experiment list).
+	ProgressExperiment ProgressKind = iota
+	// ProgressShard marks fleet shard start/merge events: Shard is the
+	// shard index, Index/Total count shards, and ID is empty. Shard
+	// start events arrive in worker-scheduling order; shard Done
+	// events arrive strictly in shard index order (the merge order).
+	// Inventory runs never emit shard events.
+	ProgressShard
 )
 
 // Progress is the event delivered to a WithProgress callback when an
 // experiment starts (Done false) and finishes (Done true). Every
 // experiment in a run emits exactly one Done event; the preceding
 // start event is omitted for experiments that never began executing
-// (context cancelled, or their lane's testbed failed to build).
+// (context cancelled, or their lane's testbed failed to build). Fleet
+// runs additionally emit ProgressShard events bracketing each shard's
+// build/sweep and merge.
 type Progress struct {
-	// ID is the experiment's registry id.
+	// Kind is the event class (experiment by default).
+	Kind ProgressKind
+	// ID is the experiment's registry id (empty for shard events).
 	ID string
-	// Index is the experiment's position in the deduplicated id list.
+	// Index is the experiment's position in the deduplicated id list,
+	// or the shard index for shard events.
 	Index int
-	// Total is the number of experiments in the run.
+	// Total is the number of experiments in the run, or the shard
+	// count for shard events.
 	Total int
+	// Shard is the shard index for shard events (0 otherwise).
+	Shard int
 	// Done marks completion; Err carries the failure, if any.
 	Done bool
 	Err  error
@@ -118,6 +145,7 @@ type Runner struct {
 
 	mu            sync.Mutex
 	testbedsBuilt int
+	report        *RunReport
 }
 
 // NewRunner builds a Runner from options. A Runner is safe for
@@ -132,6 +160,26 @@ func (r *Runner) TestbedsBuilt() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.testbedsBuilt
+}
+
+// Report returns the telemetry report of this Runner's most recent
+// completed Run, or nil when WithRunReport was not requested (or no
+// run has finished yet).
+func (r *Runner) Report() *RunReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.report
+}
+
+// finishReport stores a completed run's report and delivers it to the
+// WithRunReport callback.
+func (r *Runner) finishReport(rep *RunReport) {
+	r.mu.Lock()
+	r.report = rep
+	r.mu.Unlock()
+	if r.set.reportCB != nil {
+		r.set.reportCB(rep)
+	}
 }
 
 // Run executes the experiments registered under ids (nil or empty runs
@@ -178,6 +226,16 @@ func (r *Runner) Run(ctx context.Context, ids []string) (Results, error) {
 	sem := make(chan struct{}, r.set.parallelism)
 	var wg sync.WaitGroup
 
+	// Telemetry: each lane gets its own registry (single-writer: the
+	// lane goroutine), snapshotted when the lane unwinds. Lane count
+	// and assignment are deterministic, so so are the lane sections.
+	var runStart time.Time
+	var laneSnaps []*obs.Snapshot
+	var laneReps []ShardReport
+	if r.set.report {
+		runStart = obs.Now()
+	}
+
 	runOne := func(i int, env *Env) {
 		sem <- struct{}{}
 		defer func() { <-sem }()
@@ -205,22 +263,48 @@ func (r *Runner) Run(ctx context.Context, ids []string) (Results, error) {
 	if lanes > len(sharedIdx) {
 		lanes = len(sharedIdx)
 	}
+	if r.set.report {
+		laneSnaps = make([]*obs.Snapshot, lanes)
+		laneReps = make([]ShardReport, lanes)
+	}
 	for l := 0; l < lanes; l++ {
 		var mine []int
 		for j := l; j < len(sharedIdx); j += lanes {
 			mine = append(mine, sharedIdx[j])
 		}
 		wg.Add(1)
-		go func(mine []int) {
+		go func(l int, mine []int) {
 			defer wg.Done()
 			var tb *Testbed
 			var s *Sim
 			var buildErr error
+			var reg *obs.Registry
+			var laneStart time.Time
+			if r.set.report {
+				reg = obs.NewRegistry()
+				laneStart = obs.Now()
+			}
 			// Drop the lane's testbed with its process goroutines
 			// unwound; parked servers would otherwise outlive the Run.
+			// Then snapshot the lane's registry: the Shutdown above is
+			// the lane's last simulator activity, so the snapshot is
+			// complete, and wg.Wait publishes it to the assembler.
 			defer func() {
 				if s != nil {
 					s.Shutdown()
+				}
+				if reg != nil {
+					snap := reg.Snapshot()
+					laneSnaps[l] = snap
+					laneReps[l] = ShardReport{
+						Index:   l,
+						WallMS:  float64(obs.Since(laneStart)) / 1e6,
+						Metrics: metricsFromSnapshot(snap),
+						Trace:   traceEntries(snap.Trace),
+					}
+					if s != nil {
+						laneReps[l].SimEndNS = int64(s.Now())
+					}
 				}
 			}()
 			for _, i := range mine {
@@ -232,7 +316,7 @@ func (r *Runner) Run(ctx context.Context, ids []string) (Results, error) {
 					err = buildErr
 				}
 				if err == nil && tb == nil {
-					if tb, s, buildErr = r.newTestbed(); buildErr != nil {
+					if tb, s, buildErr = r.newTestbed(reg); buildErr != nil {
 						err = buildErr
 					} else {
 						// The lane goroutine owns this simulator: poll ctx
@@ -248,7 +332,7 @@ func (r *Runner) Run(ctx context.Context, ids []string) (Results, error) {
 				}
 				runOne(i, &Env{Tags: r.set.tags, Seed: r.set.seed, Options: r.set.probeOpts, Testbed: tb, Sim: s})
 			}
-		}(mine)
+		}(l, mine)
 	}
 
 	// Standalone experiments build their own testbeds.
@@ -265,6 +349,15 @@ func (r *Runner) Run(ctx context.Context, ids []string) (Results, error) {
 		}(i)
 	}
 	wg.Wait()
+
+	if r.set.report {
+		r.finishReport(&RunReport{
+			Shards:  laneReps,
+			Totals:  metricsFromSnapshot(obs.Merge(laneSnaps...)),
+			WallMS:  float64(obs.Since(runStart)) / 1e6,
+			Process: processStats(),
+		})
+	}
 
 	out := make(Results, 0, total)
 	for _, res := range slots {
@@ -329,7 +422,19 @@ func (r *Runner) runFleet(ctx context.Context, ids []string) (Results, error) {
 	for i, e := range exps {
 		r.emit(Progress{ID: e.ID, Index: i, Total: total})
 	}
-	pts, sweepErr := r.sweepShards(ctx, exps)
+	var runStart time.Time
+	if r.set.report {
+		runStart = obs.Now()
+	}
+	pts, rep, sweepErr := r.sweepShards(ctx, exps)
+	if rep != nil {
+		// Failed or cancelled sweeps return no report: a partial one
+		// would not satisfy the determinism contract the report
+		// documents.
+		rep.WallMS = float64(obs.Since(runStart)) / 1e6
+		rep.Process = processStats()
+		r.finishReport(rep)
+	}
 
 	out := make(Results, 0, total)
 	errs := make([]error, total)
@@ -359,9 +464,20 @@ func (r *Runner) runFleet(ctx context.Context, ids []string) (Results, error) {
 // order) plus, when a device callback is installed, the raw rows its
 // events replay. skipped marks shards the dispatcher abandoned after
 // cancellation, for which no window token was taken.
+//
+// When telemetry is on (WithRunReport), the batch also carries the
+// shard's registry plus the wall/sim-time frame the report needs. The
+// registry rides the same happens-before edge as the points (the
+// done-channel close), so the merger reads it race-free; the merger
+// stamps the TraceShardMerge event itself — it is the registry's owner
+// from that point on.
 type shardBatch struct {
 	pts     [][]stats.DevicePoint
 	rows    [][]DeviceResult
+	reg     *obs.Registry
+	simEnd  time.Duration
+	wallMS  float64
+	devices int
 	err     error
 	skipped bool
 }
@@ -388,8 +504,10 @@ type shardBatch struct {
 //
 // Seed derivations, the profile stream and the merge order depend only
 // on (settings, shard index), never on scheduling, so the returned
-// points are identical at any maxProcs.
-func (r *Runner) sweepShards(ctx context.Context, exps []*Experiment) ([][]stats.DevicePoint, error) {
+// points are identical at any maxProcs — and so is the returned
+// telemetry report (nil unless WithRunReport), whose shard sections
+// and merged totals are assembled in the same strict shard order.
+func (r *Runner) sweepShards(ctx context.Context, exps []*Experiment) ([][]stats.DevicePoint, *RunReport, error) {
 	bounds := testbed.Partition(r.set.fleet, r.set.shards)
 	n := len(bounds) - 1
 	procs := r.set.maxProcs
@@ -425,7 +543,21 @@ func (r *Runner) sweepShards(ctx context.Context, exps []*Experiment) ([][]stats
 			b.err = err
 			return
 		}
-		sh, err := testbed.BuildShard(profiles, i, bounds[i], r.set.seed)
+		var start time.Time
+		if r.set.report {
+			b.reg = obs.NewRegistry()
+			b.reg.Trace(obs.TraceShardStart, 0, uint32(i))
+			b.devices = len(profiles)
+			start = obs.Now()
+		}
+		r.emit(Progress{Kind: ProgressShard, Shard: i, Index: i, Total: n})
+		// The live-shard gauge brackets the shard's whole life: Up
+		// before the build, Down (deferred) after the deferred
+		// Shutdown unwinds the simulator — the pairing the
+		// goroutine-leak tripwire test asserts returns to baseline.
+		obs.Proc.ShardUp()
+		defer obs.Proc.ShardDown()
+		sh, err := testbed.BuildShard(profiles, i, bounds[i], r.set.seed, b.reg)
 		if err != nil {
 			b.err = err
 			return
@@ -472,6 +604,10 @@ func (r *Runner) sweepShards(ctx context.Context, exps []*Experiment) ([][]stats
 				b.rows[j] = rows
 			}
 		}
+		if r.set.report {
+			b.simEnd = time.Duration(sh.Sim.Now())
+			b.wallMS = float64(obs.Since(start)) / 1e6
+		}
 	}
 
 	// Dispatcher: in-order shard launch under the window bound.
@@ -496,6 +632,8 @@ func (r *Runner) sweepShards(ctx context.Context, exps []*Experiment) ([][]stats
 
 	// Merge: strictly ascending shard order.
 	pts := make([][]stats.DevicePoint, len(exps))
+	var shardSnaps []*obs.Snapshot
+	var shardReps []ShardReport
 	var firstErr error
 	for i := 0; i < n; i++ {
 		<-done[i]
@@ -512,8 +650,27 @@ func (r *Runner) sweepShards(ctx context.Context, exps []*Experiment) ([][]stats
 				}
 				pts[j] = append(pts[j], b.pts[j]...)
 			}
+			if b.reg != nil {
+				// The worker is done with the registry (done[i] is
+				// closed); the merger owns it now and stamps the
+				// merge marker before snapshotting.
+				b.reg.Trace(obs.TraceShardMerge, b.simEnd, uint32(i))
+				snap := b.reg.Snapshot()
+				shardSnaps = append(shardSnaps, snap)
+				shardReps = append(shardReps, ShardReport{
+					Index:    i,
+					Devices:  b.devices,
+					SimEndNS: int64(b.simEnd),
+					WallMS:   b.wallMS,
+					Metrics:  metricsFromSnapshot(snap),
+					Trace:    traceEntries(snap.Trace),
+				})
+			}
 		}
 		skipped := b.skipped
+		if !skipped {
+			r.emit(Progress{Kind: ProgressShard, Shard: i, Index: i, Total: n, Done: true, Err: b.err})
+		}
 		// Drop the batch before returning its token: the token lets
 		// the dispatcher admit another shard, so this shard's rows
 		// must already be collectable.
@@ -523,12 +680,21 @@ func (r *Runner) sweepShards(ctx context.Context, exps []*Experiment) ([][]stats
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, nil, firstErr
 	}
-	return pts, nil
+	var rep *RunReport
+	if r.set.report {
+		rep = &RunReport{
+			Fleet:   true,
+			Devices: r.set.fleet,
+			Shards:  shardReps,
+			Totals:  metricsFromSnapshot(obs.Merge(shardSnaps...)),
+		}
+	}
+	return pts, rep, nil
 }
 
 // emitDevice serializes per-device fleet callbacks.
@@ -542,8 +708,10 @@ func (r *Runner) emitDevice(ev DeviceEvent) {
 }
 
 // newTestbed builds and boots one Figure 1 testbed for a lane,
-// translating the testbed package's setup panics into errors.
-func (r *Runner) newTestbed() (tb *Testbed, s *Sim, err error) {
+// translating the testbed package's setup panics into errors. reg,
+// when non-nil, is attached to the lane's simulator before any event
+// runs (WithRunReport).
+func (r *Runner) newTestbed(reg *obs.Registry) (tb *Testbed, s *Sim, err error) {
 	r.mu.Lock()
 	r.testbedsBuilt++
 	r.mu.Unlock()
@@ -552,7 +720,7 @@ func (r *Runner) newTestbed() (tb *Testbed, s *Sim, err error) {
 			tb, s, err = nil, nil, fmt.Errorf("testbed setup: %v", p)
 		}
 	}()
-	tb, s = testbed.Run(testbed.Config{Tags: r.set.tags, Seed: r.set.seed})
+	tb, s = testbed.Run(testbed.Config{Tags: r.set.tags, Seed: r.set.seed, Obs: reg})
 	return tb, s, nil
 }
 
