@@ -115,6 +115,64 @@ func TestCacheKeyFleetIgnoresParallelism(t *testing.T) {
 	}
 }
 
+// TestCacheKeyFaults: an empty fault spec hashes exactly like no fault
+// spec at all (every pre-fault client keeps its content address), while
+// any enabled spec changes the key — faulted output is different output.
+func TestCacheKeyFaults(t *testing.T) {
+	base, err := hgw.CacheKey([]string{"udp1"}, hgw.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := hgw.CacheKey([]string{"udp1"}, hgw.WithSeed(1), hgw.WithFaults(hgw.FaultSpec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty != base {
+		t.Error("zero FaultSpec changed the cache key; pre-fault clients lose their cache entries")
+	}
+	faulted, err := hgw.CacheKey([]string{"udp1"}, hgw.WithSeed(1), hgw.WithFaultRate(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted == base {
+		t.Error("fault rate canonicalized away; faulted runs would share unfaulted cache entries")
+	}
+	// The blanket rate hashes like its explicit per-class fan-out, and
+	// distinct rates hash distinctly.
+	fanned, err := hgw.CacheKey([]string{"udp1"}, hgw.WithSeed(1), hgw.WithFaults(hgw.FaultSpec{
+		Flaps: 0.1, LossWindows: 0.1, Corrupts: 0.1, Blackholes: 0.1, Reboots: 0.1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fanned != faulted {
+		t.Error("WithFaultRate(0.1) does not hash like its per-class expansion")
+	}
+	other, err := hgw.CacheKey([]string{"udp1"}, hgw.WithSeed(1), hgw.WithFaultRate(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == faulted {
+		t.Error("distinct fault rates share a key")
+	}
+	// Retries change probe schedules, so they change the key too — but
+	// the zero default does not.
+	retried, err := hgw.CacheKey([]string{"udp1"}, hgw.WithSeed(1), hgw.WithRetries(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retried == base {
+		t.Error("retry budget canonicalized away")
+	}
+	zeroRetry, err := hgw.CacheKey([]string{"udp1"}, hgw.WithSeed(1), hgw.WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zeroRetry != base {
+		t.Error("WithRetries(0) changed the key; the default is retry-free")
+	}
+}
+
 func TestCacheKeyDefaultIDs(t *testing.T) {
 	empty, err := hgw.CacheKey(nil)
 	if err != nil {

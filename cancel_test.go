@@ -97,6 +97,61 @@ func TestFleetCancelThenReuse(t *testing.T) {
 	}
 }
 
+// TestFaultedFleetCancelMidRun is the mid-run cancellation check for a
+// chaos run: a WithFleet(1000) job with a reboot-heavy fault plan —
+// gateway power cycles, DHCP re-leases and binding wipes all in flight
+// — must still return ctx.Err() promptly when cancelled, and leave the
+// Runner reusable for an unfaulted run afterwards.
+func TestFaultedFleetCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := hgw.Run(ctx, []string{"udp3"},
+			hgw.WithSeed(3), hgw.WithFleet(1000), hgw.WithShards(2),
+			hgw.WithIterations(50), hgw.WithRetries(3),
+			hgw.WithFaults(hgw.FaultSpec{Reboots: 3, Flaps: 2, LossWindows: 2}))
+		done <- err
+	}()
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled faulted fleet run did not return within 30s")
+	}
+
+	// Runner reuse after a faulted cancellation: cancel a small chaos
+	// run on the experiment's start event, then rerun to completion on
+	// the same Runner and compare against a fresh Runner byte for byte.
+	rctx, rcancel := context.WithCancel(context.Background())
+	defer rcancel()
+	opts := []hgw.Option{hgw.WithSeed(4), hgw.WithFleet(24), hgw.WithShards(3),
+		hgw.WithIterations(1), hgw.WithRetries(2),
+		hgw.WithFaults(hgw.FaultSpec{Reboots: 2, Flaps: 1})}
+	r := hgw.NewRunner(append(opts, hgw.WithProgress(func(p hgw.Progress) {
+		if !p.Done {
+			rcancel()
+		}
+	}))...)
+	if _, err := r.Run(rctx, []string{"udp1"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("small faulted cancel: err = %v, want context.Canceled", err)
+	}
+	results, err := r.Run(context.Background(), []string{"udp1"})
+	if err != nil {
+		t.Fatalf("reusing the Runner after a cancelled faulted run: %v", err)
+	}
+	fresh, err := hgw.Run(context.Background(), []string{"udp1"}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := results.Render(), fresh.Render(); got != want {
+		t.Fatalf("Runner reused after faulted cancellation renders differently:\n%s\n--- vs ---\n%s", got, want)
+	}
+}
+
 // TestStandaloneCancelMidRun checks that Standalone experiments are
 // interruptible too: a cancelled tcp2 run aborts its per-device
 // transfer simulations instead of finishing all 34 devices.

@@ -125,6 +125,18 @@ func runBenchJSON(ids []string, opts []hgw.Option) error {
 			oopts = append(oopts, hgw.WithMaxProcs(*maxprocs))
 		}
 		bench("hgbench/fleet/udp1/d2048/s8/obs", []string{"udp1"}, oopts)
+		// One faulted row records the cost of the chaos path: the same
+		// 8-shard fleet with a heavy seeded fault plan (flaps, loss,
+		// corruption, blackholes and reboots at rate 0.5 per gateway).
+		topts := []hgw.Option{
+			hgw.WithSeed(*seed), hgw.WithIterations(1),
+			hgw.WithFleet(2048), hgw.WithShards(8),
+			hgw.WithFaultRate(0.5),
+		}
+		if *maxprocs > 0 {
+			topts = append(topts, hgw.WithMaxProcs(*maxprocs))
+		}
+		bench("hgbench/fleet/udp1/d2048/s8/fault", []string{"udp1"}, topts)
 	}
 	out, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {

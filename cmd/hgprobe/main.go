@@ -6,6 +6,14 @@
 //	hgprobe -exp udp1 -fleet 200 -shards 4   # synthetic fleet sweep
 //	hgprobe -list                            # the experiment catalog
 //	hgprobe -exp udp1 -fleet 200 -shards 4 -stats   # plus run telemetry
+//	hgprobe -exp udp3 -fleet 200 -shards 4 -faults 0.5 -retries 2  # chaos
+//
+// -faults r enables deterministic fault injection: every gateway
+// draws link flaps, loss windows, corruption windows, WAN blackholes
+// and reboots at mean rate r per class from a seeded plan (equal
+// seeds give byte-identical faulted output at any -maxprocs).
+// -retries n gives each probe exchange a retry budget so experiments
+// report degraded-but-valid figures under injected loss.
 //
 // Every id in hgw.Registry() works, including bindrate, keepalive and
 // holepunch; -json emits the result envelopes as JSON and -stats
@@ -34,6 +42,8 @@ func main() {
 	fleet := flag.Int("fleet", 0, "fleet mode: measure N synthetic devices instead of the 34-device inventory")
 	shards := flag.Int("shards", 1, "partition the fleet across K concurrent sub-testbeds")
 	maxprocs := flag.Int("maxprocs", 0, "max concurrent fleet shard workers (0 = NumCPU; output is identical at any value)")
+	faults := flag.Float64("faults", 0, "fault injection: mean seeded faults per gateway per class (0 = off)")
+	retries := flag.Int("retries", 0, "probe exchange retry budget under injected loss")
 	jsonOut := flag.Bool("json", false, "emit result envelopes as JSON")
 	statsOut := flag.Bool("stats", false, "print the run telemetry report after results")
 	verbose := flag.Bool("v", false, "report per-experiment progress on stderr")
@@ -58,6 +68,12 @@ func main() {
 	}
 	if *parallel > 0 {
 		opts = append(opts, hgw.WithParallelism(*parallel))
+	}
+	if *faults > 0 {
+		opts = append(opts, hgw.WithFaultRate(*faults))
+	}
+	if *retries > 0 {
+		opts = append(opts, hgw.WithRetries(*retries))
 	}
 	if *fleet > 0 {
 		opts = append(opts, hgw.WithFleet(*fleet), hgw.WithShards(*shards))

@@ -7,10 +7,19 @@
 //	hgwd -addr 127.0.0.1:8080
 //	curl localhost:8080/v1/experiments
 //	curl -X POST localhost:8080/v1/jobs -d '{"ids":["udp3"],"seed":1,"fleet":1000,"shards":8}'
+//	curl -X POST localhost:8080/v1/jobs \
+//	     -d '{"ids":["udp3"],"seed":1,"fleet":1000,"shards":8,"faults":{"rate":0.5}}'
 //	curl localhost:8080/v1/jobs/job-1
 //	curl localhost:8080/v1/jobs/job-1/stream
 //	curl localhost:8080/v1/stats
 //	curl localhost:8080/metrics              # Prometheus exposition
+//
+// The optional "faults" spec field turns on deterministic fault
+// injection for the job; all-zero (or absent) fault specs leave the
+// job's cache key — and therefore cache sharing with pre-fault
+// clients — unchanged. A full queue answers 429 with a Retry-After
+// header estimating when the pool will have drained enough to accept
+// the job; DESIGN.md §8 documents the client backoff contract.
 //
 // -pprof additionally serves the net/http/pprof profiling handlers
 // under /debug/pprof/ (off by default: profiling endpoints expose

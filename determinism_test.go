@@ -111,6 +111,48 @@ func TestFleetDeterminismMatrix(t *testing.T) {
 	}
 }
 
+// TestFaultedFleetDeterminismMatrix extends the determinism contract
+// to chaos runs: a fleet job with fault injection enabled — link flaps,
+// loss/corrupt windows, blackholes and gateway reboots all in play —
+// must render byte-identically, with a byte-identical device-event
+// stream, at maxProcs 1, 2, 4 and NumCPU. The faulted baseline must
+// also differ from the unfaulted run of the same seed: a plan at rate
+// 1 per class over 96 devices that changed nothing would mean the
+// injector is dead code.
+func TestFaultedFleetDeterminismMatrix(t *testing.T) {
+	ids := []string{"udp3"}
+	opts := func(procs int) []hgw.Option {
+		return []hgw.Option{
+			hgw.WithSeed(11), hgw.WithFleet(96), hgw.WithShards(4),
+			hgw.WithIterations(1), hgw.WithMaxProcs(procs),
+			hgw.WithFaultRate(1), hgw.WithRetries(2),
+		}
+	}
+	baseRender, baseTrace := fleetTrace(t, ids, opts(1)...)
+	if baseTrace == "" {
+		t.Fatal("no device events streamed")
+	}
+	cleanRender, _ := fleetTrace(t, ids,
+		hgw.WithSeed(11), hgw.WithFleet(96), hgw.WithShards(4),
+		hgw.WithIterations(1), hgw.WithMaxProcs(1))
+	if cleanRender == baseRender {
+		t.Error("faulted render identical to the unfaulted run; faults never bit")
+	}
+	for _, procs := range []int{2, 4, runtime.NumCPU()} {
+		procs := procs
+		t.Run(fmt.Sprintf("maxprocs=%d", procs), func(t *testing.T) {
+			render, trace := fleetTrace(t, ids, opts(procs)...)
+			if render != baseRender {
+				t.Errorf("faulted render at maxProcs=%d differs from maxProcs=1\n--- got ---\n%s\n--- want ---\n%s",
+					procs, render, baseRender)
+			}
+			if trace != baseTrace {
+				t.Errorf("faulted device-event stream at maxProcs=%d differs from maxProcs=1", procs)
+			}
+		})
+	}
+}
+
 // TestShardStreamIndependence pins the seed-split scheme: a shard's rng
 // stream, device slice and VLAN range are pure functions of (seed,
 // shard index), so adding shards to the fleet — or however completion

@@ -7,6 +7,7 @@ import (
 	"hgw/internal/probe"
 	"hgw/internal/report"
 	"hgw/internal/sim"
+	"hgw/internal/stats"
 	"hgw/internal/testbed"
 )
 
@@ -20,6 +21,9 @@ type (
 	// Figure is a rendered population result (devices ordered by
 	// ascending median, like the paper's plots).
 	Figure = report.Figure
+	// DevicePoint is one device's summarized result; ShardError carries
+	// the partial points salvaged from a faulted shard.
+	DevicePoint = stats.DevicePoint
 	// Throughput is a TCP-2/TCP-3 result for one device.
 	Throughput = probe.Throughput
 	// ICMPMatrix is one device's Table 2 ICMP section.

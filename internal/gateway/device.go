@@ -171,6 +171,34 @@ func (d *Device) Start() *sim.Chan[error] {
 	return d.ready
 }
 
+// Reboot power-cycles the device, reproducing the paper's §4.4
+// spontaneous-reboot quirk: the NAT binding table is wiped instantly
+// (volatile state does not survive the power cycle), the WAN address is
+// forgotten — all traffic drops as DropNoWAN during the outage — and
+// after downtime the device re-runs its WAN DHCP exchange. The upstream
+// DHCP server leases by MAC, so the device deterministically gets its
+// old address back, exactly as the paper's testbed observed; bindings,
+// however, are gone, and inbound packets to their old external ports
+// count as DropBindingLostReboot. If the re-lease fails (the WAN link
+// may be blackholed by an overlapping fault window), the device stays
+// dark — the degraded-but-valid figure the experiment reports is the
+// point. The DNS proxy's listeners persist across the reboot, a
+// deliberate simplification: their sockets hold no NAT state.
+func (d *Device) Reboot(downtime time.Duration) {
+	d.Engine.WipeBindings()
+	d.Engine.SetWAN(netip.Addr{})
+	d.S.After(downtime, func() {
+		d.S.Spawn("reboot-"+d.Profile.Tag, func(p *sim.Proc) {
+			lease, err := dhcp.Acquire(p, d.udpStack, d.WANIf, dhcp.ClientConfig{DefaultRoute: true})
+			if err != nil {
+				return
+			}
+			d.Engine.SetWAN(lease.Addr)
+			d.upstreamDNS = lease.DNS
+		})
+	})
+}
+
 // WANAddr returns the DHCP-assigned external address.
 func (d *Device) WANAddr() netip.Addr { return d.Engine.WAN() }
 

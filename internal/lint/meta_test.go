@@ -35,3 +35,22 @@ func TestModuleClean(t *testing.T) {
 		t.Errorf("%s", d)
 	}
 }
+
+// TestDetLintCoversSimCore pins the exemption lists: the packages inside
+// the equal-seed contract — the fault-plan compiler above all, whose
+// entire purpose is deterministic randomness — must never drift into
+// detExempt, or TestModuleClean would go blind to wall clocks and
+// global rand exactly where they are most dangerous.
+func TestDetLintCoversSimCore(t *testing.T) {
+	for _, pkg := range []string{
+		"hgw/internal/fault",
+		"hgw/internal/sim",
+		"hgw/internal/netem",
+		"hgw/internal/nat",
+		"hgw/internal/gateway",
+	} {
+		if detExempted(pkg) {
+			t.Errorf("%s is exempt from detlint; sim-core packages must stay covered", pkg)
+		}
+	}
+}

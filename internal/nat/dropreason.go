@@ -58,6 +58,12 @@ const (
 	DropHairpinShort     DropReason = "hairpin-short"
 	DropHairpinNoBinding DropReason = "hairpin-no-binding"
 	DropHairpinDisabled  DropReason = "hairpin-disabled"
+
+	// Fault injection (paper §4.4): an inbound packet addressed to an
+	// external port whose binding was wiped by a gateway reboot. Without
+	// the wipe record this would count as a plain no-binding drop; the
+	// distinct reason makes §4.4 binding loss observable.
+	DropBindingLostReboot DropReason = "binding-lost-reboot"
 )
 
 // AllDropReasons lists every declared reason, in registry order. Tests
@@ -72,6 +78,7 @@ var AllDropReasons = []DropReason{
 	DropICMPErrorNoBinding, DropICMPPolicyDrop, DropICMPUnhandled,
 	DropUnknownProto, DropUnknownInboundDrop, DropUnknownNoBinding, DropUnhandled,
 	DropHairpinProto, DropHairpinShort, DropHairpinNoBinding, DropHairpinDisabled,
+	DropBindingLostReboot,
 }
 
 // dropReasonIndex maps each declared reason to its AllDropReasons

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net/netip"
+	"sort"
 	"time"
 
 	"hgw/internal/netpkt"
@@ -173,6 +174,12 @@ type Engine struct {
 	lastContig map[mapKey]uint16
 	phase      time.Duration // expiry-quantisation phase
 	tcpCount   int
+	// lost records external ports whose bindings a reboot wiped
+	// (WipeBindings), so inbound packets to them count as §4.4 binding
+	// loss rather than plain no-binding drops. Entries clear when the
+	// port is reallocated. Nil until the first wipe: unfaulted runs
+	// never touch it.
+	lost map[portKey]struct{}
 
 	// Counters by drop reason, for diagnostics and tests. Keys come
 	// from the DropReason registry (dropreason.go); droplint rejects
@@ -360,6 +367,67 @@ func (e *Engine) remove(b *Binding) {
 	}
 }
 
+// WipeBindings empties the whole binding table at once, modeling the
+// paper's §4.4 spontaneous gateway reboot: every session, mapping and
+// port reservation disappears, the port allocator and quarantine state
+// reset to boot defaults, and each wiped external port is remembered so
+// subsequent inbound packets to it surface as DropBindingLostReboot.
+// Bindings are removed in sorted order (flow key), keeping the trace
+// ring and timer-cancel sequence independent of map iteration order.
+// It returns the number of sessions wiped.
+func (e *Engine) WipeBindings() int {
+	n := len(e.byFlow)
+	if n > 0 {
+		bs := make([]*Binding, 0, n)
+		for _, b := range e.byFlow {
+			bs = append(bs, b)
+		}
+		sort.Slice(bs, func(i, j int) bool {
+			a, b := bs[i].flow, bs[j].flow
+			if a.proto != b.proto {
+				return a.proto < b.proto
+			}
+			if a.client != b.client {
+				return a.client.Less(b.client)
+			}
+			if a.cport != b.cport {
+				return a.cport < b.cport
+			}
+			if a.server != b.server {
+				return a.server.Less(b.server)
+			}
+			return a.sport < b.sport
+		})
+		if e.lost == nil {
+			e.lost = make(map[portKey]struct{}, n)
+		}
+		for _, b := range bs {
+			e.lost[portKey{b.flow.proto, b.ext}] = struct{}{}
+			e.remove(b)
+		}
+	}
+	// A power cycle forgets quarantines and allocator history too.
+	e.quarantine = make(map[flowKey]quarEntry)
+	e.lastContig = nil
+	e.nextPort = 30000
+	if n > 0 {
+		e.s.Obs().Add(obs.CNATBindingsWiped, uint64(n))
+	}
+	return n
+}
+
+// lostReason upgrades a no-binding drop to DropBindingLostReboot when
+// the target external port held a binding that a reboot wiped.
+func (e *Engine) lostReason(proto uint8, ext uint16, reason DropReason) DropReason {
+	if e.lost == nil || (reason != DropUDPNoBinding && reason != DropTCPNoBinding) {
+		return reason
+	}
+	if _, ok := e.lost[portKey{proto, ext}]; ok {
+		return DropBindingLostReboot
+	}
+	return reason
+}
+
 // portAllocMode resolves the configured allocation behavior, deriving
 // the legacy PortPreservation flag for the zero value.
 func (e *Engine) portAllocMode() PortAllocBehavior {
@@ -491,6 +559,10 @@ func (e *Engine) addSession(m *Mapping, flow flowKey) *Binding {
 	e.byExt[extKey{flow.proto, m.ext, flow.server, flow.sport}] = b
 	m.sessions[epKey{flow.server, flow.sport}] = b
 	pk := portKey{flow.proto, m.ext}
+	if e.lost != nil {
+		// The port is live again; inbound misses on it are ordinary.
+		delete(e.lost, pk)
+	}
 	o := e.portsInUse[pk]
 	if o == nil {
 		o = &portOwner{client: flow.client, cport: flow.cport}
@@ -752,7 +824,7 @@ func (e *Engine) Inbound(ip *netpkt.IPv4) bool {
 			var reason DropReason
 			b, reason = e.filterInbound(netpkt.ProtoUDP, dport, ip.Src, sport)
 			if b == nil {
-				e.drop(reason)
+				e.drop(e.lostReason(netpkt.ProtoUDP, dport, reason))
 				return false
 			}
 		}
@@ -782,7 +854,7 @@ func (e *Engine) Inbound(ip *netpkt.IPv4) bool {
 			var reason DropReason
 			b, reason = e.filterInbound(netpkt.ProtoTCP, dport, ip.Src, sport)
 			if b == nil {
-				e.drop(reason)
+				e.drop(e.lostReason(netpkt.ProtoTCP, dport, reason))
 				return false
 			}
 		}

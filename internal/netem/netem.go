@@ -6,9 +6,11 @@ package netem
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"hgw/internal/netpkt"
+	"hgw/internal/obs"
 	"hgw/internal/sim"
 )
 
@@ -92,6 +94,73 @@ type Link struct {
 	a, b *Iface
 	ab   *pipe
 	ba   *pipe
+	flt  linkFault
+}
+
+// linkFault is the injected-fault state shared by both directions of a
+// link. Faults act at frame-admission time (before serialization), so a
+// downed or lossy link sheds load without perturbing the transmit
+// machinery's event sequence for the frames that do pass.
+type linkFault struct {
+	down     bool
+	lossP    float64
+	corruptP float64
+	// rng drives per-frame loss/corruption draws. It is injector-owned
+	// and separate from the simulator rng, so fault draws never shift
+	// the draw sequence seen by non-fault consumers of sim.Rand.
+	rng   *rand.Rand
+	drops int
+}
+
+// SetDown forces the link administratively down (both directions).
+// Frames offered while down are counted and recycled, exactly like
+// queue drops. Fault windows nest in the caller (the fault injector);
+// the link itself is a plain switch.
+func (l *Link) SetDown(down bool) { l.flt.down = down }
+
+// SetLoss sets the per-frame drop probability (both directions). A
+// probability > 0 requires a fault rng (SetFaultRand); without one the
+// link stays lossless.
+func (l *Link) SetLoss(p float64) { l.flt.lossP = p }
+
+// SetCorrupt sets the per-frame corruption probability (both
+// directions). Corrupted frames are delivered with one payload byte
+// flipped, modeling the paper's flaky in-home wiring.
+func (l *Link) SetCorrupt(p float64) { l.flt.corruptP = p }
+
+// SetFaultRand installs the rng that drives per-frame loss and
+// corruption draws. The injector hands every link its own seeded
+// stream, keeping equal-seed runs byte-identical at any worker count.
+func (l *Link) SetFaultRand(r *rand.Rand) { l.flt.rng = r }
+
+// FaultDrops returns the number of frames shed by injected faults
+// (down windows plus loss draws), distinct from queue Drops.
+func (l *Link) FaultDrops() int { return l.flt.drops }
+
+// faultFilter applies the link's fault state to an offered frame.
+// It reports true when the frame was consumed (dropped and recycled).
+func (p *pipe) faultFilter(f *netpkt.Frame) bool {
+	flt := p.flt
+	if flt == nil || (!flt.down && flt.lossP <= 0 && flt.corruptP <= 0) {
+		return false
+	}
+	if flt.down || (flt.lossP > 0 && flt.rng != nil && flt.rng.Float64() < flt.lossP) {
+		flt.drops++
+		if r := p.s.Obs(); r != nil {
+			r.Inc(obs.CFaultFramesDropped)
+		}
+		if DebugDrop != nil {
+			DebugDrop(f)
+		} else {
+			netpkt.PutBuf(f.Payload)
+			netpkt.PutFrame(f)
+		}
+		return true
+	}
+	if flt.corruptP > 0 && flt.rng != nil && flt.rng.Float64() < flt.corruptP && len(f.Payload) > 0 {
+		f.Payload[len(f.Payload)-1] ^= 0xff
+	}
+	return false
 }
 
 // pipe is one direction of a link. Its transmit machinery is
@@ -115,6 +184,8 @@ type pipe struct {
 	drops     int
 	delivered int
 
+	flt *linkFault // shared with the owning Link's other direction
+
 	txDoneFn  func()
 	deliverFn func()
 }
@@ -133,6 +204,8 @@ func Connect(s *sim.Sim, a, b *Iface, cfg LinkConfig) *Link {
 	l := &Link{s: s, cfg: cfg, a: a, b: b}
 	l.ab = newPipe(s, cfg, b)
 	l.ba = newPipe(s, cfg, a)
+	l.ab.flt = &l.flt
+	l.ba.flt = &l.flt
 	a.send = l.ab.send
 	b.send = l.ba.send
 	return l
@@ -152,6 +225,9 @@ func (l *Link) Drops() (ab, ba int) { return l.ab.drops, l.ba.drops }
 func (l *Link) Delivered() (ab, ba int) { return l.ab.delivered, l.ba.delivered }
 
 func (p *pipe) send(f *netpkt.Frame) {
+	if p.faultFilter(f) {
+		return
+	}
 	if p.busy {
 		if p.queued+f.Len() > p.cfg.QueueBytes {
 			p.drops++

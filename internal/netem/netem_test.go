@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -267,5 +268,119 @@ func TestDefaultLinkConfig(t *testing.T) {
 	cfg := LinkConfig{}.withDefaults()
 	if cfg.Rate != 100e6 || cfg.Delay <= 0 || cfg.QueueBytes <= 0 {
 		t.Fatalf("bad defaults: %+v", cfg)
+	}
+}
+
+func TestLinkDownShedsAndRecovers(t *testing.T) {
+	s := sim.New(1)
+	a, b := mkIface("a"), mkIface("b")
+	n := 0
+	b.Recv = func(f *netpkt.Frame) { n++ }
+	l := Connect(s, a, b, LinkConfig{})
+	s.After(0, func() { a.Send(&netpkt.Frame{}) })
+	s.After(time.Millisecond, func() { l.SetDown(true); a.Send(&netpkt.Frame{}) })
+	s.After(2*time.Millisecond, func() { l.SetDown(false); a.Send(&netpkt.Frame{}) })
+	s.Run(0)
+	if n != 2 {
+		t.Fatalf("delivered %d, want 2 (one shed while down)", n)
+	}
+	if l.FaultDrops() != 1 {
+		t.Fatalf("FaultDrops = %d, want 1", l.FaultDrops())
+	}
+	// Fault drops are distinct from queue drops.
+	ab, _ := l.Drops()
+	if ab != 0 {
+		t.Fatalf("queue drops = %d, want 0", ab)
+	}
+}
+
+func TestLinkLossNeedsRand(t *testing.T) {
+	s := sim.New(1)
+	a, b := mkIface("a"), mkIface("b")
+	n := 0
+	b.Recv = func(f *netpkt.Frame) { n++ }
+	l := Connect(s, a, b, LinkConfig{})
+	l.SetLoss(1.0) // no fault rng installed: the link stays lossless
+	s.After(0, func() { a.Send(&netpkt.Frame{}) })
+	s.Run(0)
+	if n != 1 || l.FaultDrops() != 0 {
+		t.Fatalf("delivered %d (drops %d); loss without a fault rng must be a no-op", n, l.FaultDrops())
+	}
+}
+
+func TestLinkLossDropsDeterministically(t *testing.T) {
+	run := func() (delivered, dropped int) {
+		s := sim.New(1)
+		a, b := mkIface("a"), mkIface("b")
+		n := 0
+		b.Recv = func(f *netpkt.Frame) { n++ }
+		l := Connect(s, a, b, LinkConfig{})
+		l.SetFaultRand(rand.New(rand.NewSource(77)))
+		l.SetLoss(0.5)
+		s.After(0, func() {
+			for i := 0; i < 200; i++ {
+				a.Send(&netpkt.Frame{})
+			}
+		})
+		s.Run(0)
+		return n, l.FaultDrops()
+	}
+	d1, x1 := run()
+	d2, x2 := run()
+	if d1 != d2 || x1 != x2 {
+		t.Fatalf("loss not deterministic: %d/%d vs %d/%d", d1, x1, d2, x2)
+	}
+	if d1+x1 != 200 || d1 == 0 || x1 == 0 {
+		t.Fatalf("delivered %d dropped %d, want a non-trivial split of 200", d1, x1)
+	}
+}
+
+func TestLinkCorruptFlipsPayloadByte(t *testing.T) {
+	s := sim.New(1)
+	a, b := mkIface("a"), mkIface("b")
+	var got []byte
+	b.Recv = func(f *netpkt.Frame) { got = append([]byte(nil), f.Payload...) }
+	l := Connect(s, a, b, LinkConfig{})
+	l.SetFaultRand(rand.New(rand.NewSource(1)))
+	l.SetCorrupt(1.0)
+	s.After(0, func() { a.Send(&netpkt.Frame{Payload: []byte{0xaa, 0xbb}}) })
+	s.Run(0)
+	if got == nil {
+		t.Fatal("corrupted frame not delivered")
+	}
+	if got[0] != 0xaa || got[1] != 0xbb^0xff {
+		t.Fatalf("payload %x, want last byte flipped", got)
+	}
+}
+
+// TestFaultFilterAllocs pins the chaos path's allocator behavior: both
+// the pass-through fast path (no faults armed) and the drop path (link
+// down, frame recycled to the pools) must not allocate.
+func TestFaultFilterAllocs(t *testing.T) {
+	s := sim.New(1)
+	a, b := mkIface("a"), mkIface("b")
+	// The receiver recycles like a real stack, so the pools stay primed.
+	b.Recv = func(f *netpkt.Frame) { netpkt.PutBuf(f.Payload); netpkt.PutFrame(f) }
+	l := Connect(s, a, b, LinkConfig{})
+	send := func() {
+		f := netpkt.GetFrame()
+		f.Src, f.Dst = a.MAC, b.MAC
+		f.Payload = netpkt.GetBuf(64)
+		a.Send(f)
+		s.Run(0)
+	}
+	send() // warm the pools
+	if n := testing.AllocsPerRun(100, send); n != 0 {
+		t.Fatalf("unfaulted send allocates %.1f objects per run, want 0", n)
+	}
+	l.SetDown(true)
+	if n := testing.AllocsPerRun(100, send); n != 0 {
+		t.Fatalf("downed-link drop allocates %.1f objects per run, want 0", n)
+	}
+	l.SetDown(false)
+	l.SetFaultRand(rand.New(rand.NewSource(5)))
+	l.SetLoss(0.5)
+	if n := testing.AllocsPerRun(100, send); n != 0 {
+		t.Fatalf("lossy send allocates %.1f objects per run, want 0", n)
 	}
 }

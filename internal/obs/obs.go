@@ -48,6 +48,16 @@ const (
 	CNATMappingsCreated
 	CNATTranslations
 	CNATDrops
+	// internal/fault + internal/netem: injected chaos events. The
+	// injector owns the per-event counters; netem counts the frames its
+	// fault filter sheds; nat counts reboot binding-table wipes.
+	CFaultLinkFlaps
+	CFaultLossWindows
+	CFaultCorruptWindows
+	CFaultBlackholes
+	CFaultReboots
+	CFaultFramesDropped
+	CNATBindingsWiped
 	// NumCounters bounds the registry; it is not a counter.
 	NumCounters
 )
@@ -64,6 +74,14 @@ var counterNames = [NumCounters]string{
 	CNATMappingsCreated: "nat_mappings_created",
 	CNATTranslations:    "nat_translations",
 	CNATDrops:           "nat_drops",
+
+	CFaultLinkFlaps:      "fault_link_flaps",
+	CFaultLossWindows:    "fault_loss_windows",
+	CFaultCorruptWindows: "fault_corrupt_windows",
+	CFaultBlackholes:     "fault_blackholes",
+	CFaultReboots:        "fault_reboots",
+	CFaultFramesDropped:  "fault_frames_dropped",
+	CNATBindingsWiped:    "nat_bindings_wiped",
 }
 
 // Name returns the counter's stable snake_case identifier (report and

@@ -35,6 +35,12 @@ type Options struct {
 	// Verdict is the grace period for deciding a probe response is not
 	// coming.
 	Verdict time.Duration
+	// Retries is the per-exchange retry budget for probe setup traffic
+	// under injected loss (fault plans): a lost binding-create exchange
+	// is retried with exponential backoff instead of failing the whole
+	// measurement, so faulted runs report degraded-but-valid figures.
+	// 0 (the default) disables retries — unfaulted runs are unchanged.
+	Retries int
 }
 
 // Normalized returns the options with every zero field replaced by its

@@ -1,0 +1,46 @@
+package probe
+
+import (
+	"time"
+
+	"hgw/internal/sim"
+)
+
+// retryBackoffBase is the idle gap before the first retry; each further
+// retry doubles it (capped by retryBackoffMax). The base is kept well
+// under every binding timeout the probes measure, so a retried exchange
+// refreshes — never expires — the binding under test.
+const (
+	retryBackoffBase = 500 * time.Millisecond
+	retryBackoffMax  = 8 * time.Second
+)
+
+// backoffDelay returns the exponential backoff before retry attempt n
+// (1-based).
+func backoffDelay(n int) time.Duration {
+	d := retryBackoffBase
+	for i := 1; i < n && d < retryBackoffMax; i++ {
+		d *= 2
+	}
+	if d > retryBackoffMax {
+		d = retryBackoffMax
+	}
+	return d
+}
+
+// retry runs op up to 1+retries times, sleeping an exponential backoff
+// before each re-attempt, and reports whether any attempt succeeded.
+// With retries == 0 it is exactly one op() call and no sleeps, so
+// unfaulted probe schedules are untouched. op receives the attempt
+// number (0-based) for diagnostics.
+func retry(p *sim.Proc, retries int, op func(attempt int) bool) bool {
+	for attempt := 0; ; attempt++ {
+		if op(attempt) {
+			return true
+		}
+		if attempt >= retries {
+			return false
+		}
+		p.Sleep(backoffDelay(attempt + 1))
+	}
+}

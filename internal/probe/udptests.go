@@ -2,6 +2,7 @@ package probe
 
 import (
 	"fmt"
+	"net/netip"
 	"time"
 
 	"hgw/internal/sim"
@@ -87,15 +88,28 @@ func udpAlive(p *sim.Proc, tb *testbed.Testbed, n *testbed.Node,
 	cli.Drain()
 	srv.Drain()
 
-	if !cli.Send([]byte("probe-create")) {
-		return false
-	}
-	d, ok := srv.Recv(p, opts.Verdict)
-	if !ok {
+	// The binding-create exchange retries under opts.Retries (fault
+	// plans inject frame loss; a lost create would otherwise fail the
+	// whole probe): each attempt re-sends, which at worst refreshes the
+	// just-created binding before the idle period starts.
+	var from netip.Addr
+	var fport uint16
+	created := retry(p, opts.Retries, func(int) bool {
+		if !cli.Send([]byte("probe-create")) {
+			return false
+		}
+		d, ok := srv.Recv(p, opts.Verdict)
+		if !ok {
+			return false
+		}
+		from, fport = d.From, d.FromPort
+		return true
+	})
+	if !created {
 		return false // binding never came up
 	}
-	from, fport := d.From, d.FromPort
 
+	var ok bool
 	switch mode {
 	case UDPSolitary:
 		p.Sleep(t)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 
 	"hgw"
 )
@@ -64,6 +65,9 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, err := s.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		// Retry-After tells well-behaved clients when the queue is
+		// likely to have room again (see retryAfterSeconds).
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})
 		return
 	case errors.Is(err, ErrStopped):

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -192,5 +193,77 @@ func TestDaemonErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("POST malformed spec = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestQueueFullRetryAfter: the 429 response carries a Retry-After
+// header with a positive integer number of seconds (clamped to at most
+// 60), per the client backoff contract in DESIGN.md §8.
+func TestQueueFullRetryAfter(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, QueueDepth: 1})
+	svc.Start(context.Background())
+	defer svc.Shutdown()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Occupy the worker, then the queue.
+	body := `{"ids":["udp3"],"seed":11,"iterations":40,"fleet":800,"shards":1}`
+	for i, b := range []string{body,
+		`{"ids":["udp1"],"seed":1,"iterations":1,"fleet":4}`} {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submission %d = %d, want 202", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"ids":["udp2"],"seed":2,"iterations":1,"fleet":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submission to full queue = %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("429 response lacks a Retry-After header")
+	}
+	sec, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", ra, err)
+	}
+	if sec < 1 || sec > 60 {
+		t.Fatalf("Retry-After = %d, want within [1, 60]", sec)
+	}
+}
+
+// TestFaultedJobOverHTTP: the faults spec field round-trips through
+// the JSON API and the faulted fleet job completes with streamed rows.
+func TestFaultedJobOverHTTP(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	svc.Start(context.Background())
+	defer svc.Shutdown()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	spec := service.Spec{IDs: []string{"udp3"}, Seed: 5, Iterations: 1,
+		Fleet: 24, Shards: 3, Faults: &hgw.FaultSpec{Rate: 1}}
+	v, code := postJob(t, srv.URL, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("faulted submission = %d, want 202", code)
+	}
+	if v.Spec.Faults == nil || v.Spec.Faults.Rate != 1 {
+		t.Fatalf("faults spec did not round-trip: %+v", v.Spec.Faults)
+	}
+	done := getJob(t, srv.URL, v.ID, time.Minute)
+	if done.Status != service.StatusDone {
+		t.Fatalf("faulted job %s: %s", done.Status, done.Error)
+	}
+	if done.Devices != spec.Fleet {
+		t.Errorf("faulted job streamed %d rows, want %d", done.Devices, spec.Fleet)
 	}
 }

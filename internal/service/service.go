@@ -39,6 +39,10 @@ type Spec struct {
 	// the job's cache key — is identical at any value, so clients on
 	// differently-sized machines share cache entries.
 	MaxProcs int `json:"max_procs,omitempty"`
+	// Faults enables deterministic fault injection (hgw.WithFaults).
+	// Absent or all-zero it contributes nothing to the cache key, so
+	// every pre-fault client request keeps its existing content address.
+	Faults *hgw.FaultSpec `json:"faults,omitempty"`
 }
 
 // options translates the Spec into hgw.Run options (without callbacks,
@@ -62,6 +66,9 @@ func (sp Spec) options() []hgw.Option {
 	}
 	if sp.MaxProcs > 0 {
 		opts = append(opts, hgw.WithMaxProcs(sp.MaxProcs))
+	}
+	if sp.Faults != nil {
+		opts = append(opts, hgw.WithFaults(*sp.Faults))
 	}
 	return opts
 }
@@ -291,9 +298,10 @@ type Service struct {
 	order  []string // insertion order, for Jobs()
 	nextID int
 
-	ctx    context.Context
-	cancel context.CancelFunc
-	wg     sync.WaitGroup
+	ctx      context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	stopOnce sync.Once
 
 	started time.Time       // set by Start; zero until then
 	busy    atomic.Int64    // workers currently inside hgw.Run
@@ -416,28 +424,60 @@ func (s *Service) Stats() Stats {
 
 // Shutdown cancels the service context, interrupting in-flight runs
 // (their jobs finish canceled), waits for the workers to exit, and
-// cancels every job still queued. It is safe to call more than once.
+// cancels every job still queued. It is idempotent and safe to call
+// from any number of goroutines: the first caller performs the
+// shutdown, and every concurrent or later call blocks until that
+// shutdown has completed (sync.Once semantics), so all callers return
+// with the queue fully drained. Calling Shutdown before Start is a
+// no-op that does not consume the shutdown.
 func (s *Service) Shutdown() {
 	s.mu.Lock()
 	cancel := s.cancel
 	s.mu.Unlock()
 	if cancel == nil {
-		return
+		return // never started; leave the Once for a post-Start call
 	}
-	cancel()
-	s.wg.Wait()
-	// Drain under the same lock Submit enqueues under (see Submit), so
-	// no job can slip into the queue after the drain.
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for {
-		select {
-		case job := <-s.queue:
-			job.finish(StatusCanceled, nil, nil, false, 0, "service shut down before the job ran")
-		default:
-			return
+	s.stopOnce.Do(func() {
+		cancel()
+		s.wg.Wait()
+		// Drain under the same lock Submit enqueues under (see Submit),
+		// so no job can slip into the queue after the drain.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for {
+			select {
+			case job := <-s.queue:
+				job.finish(StatusCanceled, nil, nil, false, 0, "service shut down before the job ran")
+			default:
+				return
+			}
 		}
+	})
+}
+
+// retryAfterSeconds estimates how long a rejected client should wait
+// before resubmitting (the Retry-After value on 429 responses): the
+// time for the worker pool to drain the current queue, from the mean
+// observed job duration. Before any job has finished it falls back to
+// a 2-second guess. The estimate is clamped to [1, 60] seconds — long
+// enough to be meaningful, short enough that clients re-probe a queue
+// that drained faster than predicted. DESIGN.md §8 documents the
+// client backoff contract.
+func (s *Service) retryAfterSeconds() int {
+	const fallback = 2
+	h := s.jobDur.Snapshot()
+	sec := fallback
+	if h.Count > 0 {
+		mean := float64(h.SumNS) / float64(h.Count) / float64(time.Second)
+		sec = int(float64(len(s.queue)) * mean / float64(s.cfg.Workers))
 	}
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
 }
 
 // worker drains the queue until the service context is cancelled.

@@ -3,6 +3,7 @@ package service_test
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -149,5 +150,107 @@ func TestShutdownCancelsJobs(t *testing.T) {
 	}
 	if _, err := svc.Submit(udp3Spec); !errors.Is(err, service.ErrStopped) {
 		t.Errorf("submit after shutdown: err = %v, want ErrStopped", err)
+	}
+}
+
+// TestShutdownConcurrentCallers: any number of goroutines calling
+// Shutdown race-free, all returning only after the shutdown completed
+// (queue drained, workers exited).
+func TestShutdownConcurrentCallers(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, QueueDepth: 2})
+	svc.Start(context.Background())
+	running, err := svc.Submit(service.Spec{
+		IDs: []string{"udp3"}, Seed: 11, Iterations: 40, Fleet: 800, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, running, service.StatusRunning, 30*time.Second)
+	queued, err := svc.Submit(service.Spec{IDs: []string{"udp1"}, Seed: 1, Iterations: 1, Fleet: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); svc.Shutdown() }()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent Shutdown callers did not all return")
+	}
+	// Every caller returned only after the drain: the queued job must
+	// already be canceled from any caller's perspective.
+	if s := queued.Status(); s != service.StatusCanceled {
+		t.Errorf("queued job = %s after Shutdown returned, want canceled", s)
+	}
+	svc.Shutdown() // and again, serially: still a no-op
+}
+
+// TestShutdownBeforeStart: Shutdown on a never-started service is a
+// no-op that does not consume the shutdown — a later Start/Shutdown
+// cycle still works.
+func TestShutdownBeforeStart(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	svc.Shutdown()
+	svc.Shutdown()
+	svc.Start(context.Background())
+	job, err := svc.Submit(service.Spec{IDs: []string{"udp1"}, Seed: 1, Iterations: 1, Fleet: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job, time.Minute)
+	svc.Shutdown()
+	if _, err := svc.Submit(udp3Spec); !errors.Is(err, service.ErrStopped) {
+		t.Errorf("submit after post-Start shutdown: err = %v, want ErrStopped", err)
+	}
+}
+
+// TestFaultsSpecChangesKeyAndRuns: the faults field reaches hgw.Run
+// (the faulted job completes) and keys separately from the unfaulted
+// spec, while an all-zero faults object shares the unfaulted key.
+func TestFaultsSpecChangesKeyAndRuns(t *testing.T) {
+	base := udp3Spec
+	baseKey, err := base.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := base
+	zero.Faults = &hgw.FaultSpec{}
+	zeroKey, err := zero.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zeroKey != baseKey {
+		t.Error("all-zero faults object changed the cache key")
+	}
+	faulted := base
+	faulted.Faults = &hgw.FaultSpec{Rate: 1}
+	faultedKey, err := faulted.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faultedKey == baseKey {
+		t.Fatal("faulted spec shares the unfaulted cache key")
+	}
+
+	svc := service.New(service.Config{Workers: 1})
+	svc.Start(context.Background())
+	defer svc.Shutdown()
+	job, err := svc.Submit(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job, time.Minute)
+	v := job.Snapshot()
+	if v.Status != service.StatusDone {
+		t.Fatalf("faulted job %s: %s", v.Status, v.Error)
+	}
+	if v.Devices != base.Fleet {
+		t.Errorf("faulted job streamed %d device rows, want %d", v.Devices, base.Fleet)
 	}
 }

@@ -70,6 +70,13 @@ type Node struct {
 	wanLink, lanLink *netem.Link
 }
 
+// WANLink returns the node's gateway-to-WAN-switch link, the surface
+// fault injection acts on (loss/corrupt/flap windows, blackholes).
+func (n *Node) WANLink() *netem.Link { return n.wanLink }
+
+// LANLink returns the node's gateway-to-LAN-switch link.
+func (n *Node) LANLink() *netem.Link { return n.lanLink }
+
 // Config controls testbed construction.
 type Config struct {
 	// Tags selects the gateways (default: all 34).

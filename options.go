@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"time"
 )
 
 // Option configures a Runner (and thus a Run call).
@@ -33,6 +34,7 @@ type settings struct {
 	deviceCB    func(DeviceEvent)
 	report      bool
 	reportCB    func(*RunReport)
+	faults      FaultSpec
 }
 
 func newSettings(opts []Option) settings {
@@ -125,6 +127,22 @@ func (s settings) canonical(exps []*Experiment) string {
 		fmt.Fprintf(&sb, "parallelism=*\nfleet=%d\nshards=%d\n", s.fleet, s.shards)
 	} else {
 		fmt.Fprintf(&sb, "parallelism=%d\nfleet=%d\nshards=%d\n", s.parallelism, s.fleet, s.shards)
+	}
+	if o.Retries > 0 {
+		// Appended (rather than folded into the opts line) and omitted
+		// at the zero default, so pre-existing keys are untouched.
+		fmt.Fprintf(&sb, "retries=%d\n", o.Retries)
+	}
+	if s.faults.Enabled() {
+		// Fault plans change the output, so they key — but only when
+		// enabled: an absent faults field and an explicit zero FaultSpec
+		// hash identically to a pre-fault request. The normalized form
+		// is hashed so WithFaultRate(r) and its expanded per-class spec
+		// share a key.
+		f := s.faults.normalized()
+		fmt.Fprintf(&sb, "faults=flap:%g,loss:%g,corrupt:%g,blackhole:%g,reboot:%g,lossp:%g,horizon:%d\n",
+			f.Flaps, f.LossWindows, f.Corrupts, f.Blackholes, f.Reboots,
+			f.LossP, int64(f.Horizon))
 	}
 	return sb.String()
 }
@@ -260,4 +278,85 @@ type DeviceEvent struct {
 // the final render. Calls are serialized.
 func WithDeviceResults(fn func(DeviceEvent)) Option {
 	return func(s *settings) { s.deviceCB = fn }
+}
+
+// FaultSpec parameterizes deterministic fault injection (WithFaults):
+// seeded chaos plans reproducing the paper's §4.4 quirk surface —
+// spontaneous gateway reboots that wipe the NAT binding table and
+// re-lease the WAN address over DHCP, link flaps, windows of random
+// frame loss or corruption, and transient WAN blackholes. Rates are
+// expected event counts per device over the plan horizon; fractional
+// rates are resolved by seeded per-device draws. The plan is drawn from
+// its own seed-split rng stream (independent of the fleet's profile
+// draws), so equal-seed faulted runs render byte-identically at any
+// worker count.
+type FaultSpec struct {
+	// Rate is shorthand: when > 0 and every per-class rate is zero, all
+	// five classes run at this rate.
+	Rate float64 `json:"rate,omitempty"`
+
+	// Per-class expected events per device over the horizon.
+	Flaps       float64 `json:"flaps,omitempty"`
+	LossWindows float64 `json:"loss_windows,omitempty"`
+	Corrupts    float64 `json:"corrupts,omitempty"`
+	Blackholes  float64 `json:"blackholes,omitempty"`
+	Reboots     float64 `json:"reboots,omitempty"`
+
+	// LossP is the per-frame drop (and corruption-flip) probability
+	// inside a loss or corrupt window (default 0.25).
+	LossP float64 `json:"loss_p,omitempty"`
+
+	// Horizon is the sim-time span after testbed bring-up over which
+	// event start times are drawn (default 10 minutes).
+	Horizon time.Duration `json:"horizon_ns,omitempty"`
+}
+
+// Enabled reports whether the spec schedules any faults. A zero
+// FaultSpec is disabled and behaves — including for CacheKey — exactly
+// like not passing WithFaults at all.
+func (f FaultSpec) Enabled() bool {
+	return f.Rate > 0 || f.Flaps > 0 || f.LossWindows > 0 ||
+		f.Corrupts > 0 || f.Blackholes > 0 || f.Reboots > 0
+}
+
+// normalized expands the Rate shorthand and applies defaults, so
+// equivalent specs hash and compile identically.
+func (f FaultSpec) normalized() FaultSpec {
+	if f.Rate > 0 && f.Flaps == 0 && f.LossWindows == 0 &&
+		f.Corrupts == 0 && f.Blackholes == 0 && f.Reboots == 0 {
+		f.Flaps, f.LossWindows, f.Corrupts, f.Blackholes, f.Reboots =
+			f.Rate, f.Rate, f.Rate, f.Rate, f.Rate
+	}
+	f.Rate = 0
+	if f.LossP <= 0 {
+		f.LossP = 0.25
+	}
+	if f.Horizon <= 0 {
+		f.Horizon = 10 * time.Minute
+	}
+	return f
+}
+
+// WithFaults installs a fault-injection plan on the run: every fleet
+// shard (and inventory lane) compiles a per-shard plan from the spec
+// and its seed-split plan seed and executes it against its devices.
+// Faults are part of the output contract — CacheKey folds an enabled
+// spec in — and of the determinism contract: equal-seed faulted runs
+// render byte-identically at any WithMaxProcs setting. A zero spec is
+// a no-op.
+func WithFaults(f FaultSpec) Option {
+	return func(s *settings) { s.faults = f }
+}
+
+// WithFaultRate is WithFaults shorthand: every fault class (flap, loss
+// window, corrupt window, blackhole, reboot) runs at rate expected
+// events per device over the default horizon.
+func WithFaultRate(rate float64) Option {
+	return WithFaults(FaultSpec{Rate: rate})
+}
+
+// WithRetries sets the probe-side retry budget for setup exchanges
+// under injected loss (default 0: fail fast, as unfaulted runs do).
+func WithRetries(n int) Option {
+	return func(s *settings) { s.probeOpts.Retries = n }
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"hgw/internal/fault"
 	"hgw/internal/gateway"
 	"hgw/internal/obs"
 	"hgw/internal/report"
@@ -70,6 +71,38 @@ func (e *ExperimentError) Error() string { return fmt.Sprintf("experiment %s: %v
 
 // Unwrap exposes the underlying cause to errors.Is/As.
 func (e *ExperimentError) Unwrap() error { return e.Err }
+
+// ShardError attributes a fleet failure to one shard. A faulted shard
+// that panics mid-sweep is recovered into a ShardError instead of
+// poisoning the Runner: the error names the shard and the experiment
+// that was executing, carries the population points of the experiments
+// the shard did complete (Partial), and unwraps to the recovered panic.
+// Shards are ephemeral to their Run, so the Runner stays reusable.
+type ShardError struct {
+	// Shard is the index of the shard that failed.
+	Shard int
+	// ExperimentID is the registry id of the experiment executing when
+	// the shard failed (empty when the failure preceded the sweeps).
+	ExperimentID string
+	// Partial holds the per-device population points of the experiments
+	// this shard completed before failing, in experiment-then-device
+	// order. The merged run discards them — a partial fleet figure
+	// would violate the determinism contract — but diagnostics and
+	// callers recovering via errors.As can inspect them.
+	Partial []DevicePoint
+	// Err is the underlying cause (the recovered panic).
+	Err error
+}
+
+func (e *ShardError) Error() string {
+	if e.ExperimentID != "" {
+		return fmt.Sprintf("shard %d: experiment %s: %v", e.Shard, e.ExperimentID, e.Err)
+	}
+	return fmt.Sprintf("shard %d: %v", e.Shard, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ShardError) Unwrap() error { return e.Err }
 
 // RunError is the error Run returns when experiments fail: it carries
 // every failed experiment, not just the first one a lane encountered,
@@ -323,6 +356,9 @@ func (r *Runner) Run(ctx context.Context, ids []string) (Results, error) {
 						// between events so cancellation interrupts a probe
 						// mid-run instead of waiting out the experiment.
 						s.SetInterrupt(func() bool { return ctx.Err() != nil })
+						// Chaos: lanes seed-split fault plans by lane
+						// index, like fleet shards do by shard index.
+						r.installFaults(s, tb, l)
 					}
 				}
 				if err != nil {
@@ -531,10 +567,27 @@ func (r *Runner) sweepShards(ctx context.Context, exps []*Experiment) ([][]stats
 
 	work := func(i int, profiles []gateway.Profile) {
 		b := &batches[i]
+		// curExp names the experiment the sweep loop is executing, so a
+		// recovered panic is attributable (ShardError) instead of the
+		// historical anonymous "shard N: panic".
+		var curExp string
 		defer close(done[i])
 		defer func() {
 			if p := recover(); p != nil {
-				b.err = fmt.Errorf("shard %d: panic: %v", i, p)
+				// Salvage the points of the experiments this shard did
+				// complete, then drop the batch's result fields: the
+				// merger must not mistake a partial batch for a good one.
+				var partial []stats.DevicePoint
+				for _, ep := range b.pts {
+					partial = append(partial, ep...)
+				}
+				b.err = &ShardError{
+					Shard:        i,
+					ExperimentID: curExp,
+					Partial:      partial,
+					Err:          fmt.Errorf("panic: %v", p),
+				}
+				b.pts, b.rows = nil, nil
 			}
 		}()
 		procSem <- struct{}{}
@@ -574,11 +627,16 @@ func (r *Runner) sweepShards(ctx context.Context, exps []*Experiment) ([][]stats
 		// whole life: poll ctx between events so cancellation
 		// interrupts a sweep mid-run instead of waiting it out.
 		sh.Sim.SetInterrupt(func() bool { return ctx.Err() != nil })
+		// Chaos: the shard's fault plan (seed-split per shard index)
+		// schedules its events before any sweep runs, mirroring real
+		// faults striking mid-measurement.
+		r.installFaults(sh.Sim, sh.Testbed, i)
 		b.pts = make([][]stats.DevicePoint, len(exps))
 		if r.set.deviceCB != nil {
 			b.rows = make([][]DeviceResult, len(exps))
 		}
 		for j, e := range exps {
+			curExp = e.ID
 			rows := e.Sweep(&Env{
 				Seed:    r.set.seed + int64(i),
 				Options: r.set.probeOpts,
@@ -695,6 +753,38 @@ func (r *Runner) sweepShards(ctx context.Context, exps []*Experiment) ([][]stats
 		}
 	}
 	return pts, rep, nil
+}
+
+// installFaults compiles the run's fault plan for one fleet shard (or
+// inventory lane) and schedules it on the simulator. index seed-splits
+// the plan (fault.PlanSeed), so each shard draws an independent event
+// schedule while equal-seed runs reproduce it exactly; a disabled spec
+// is a no-op, costing unfaulted runs nothing. Standalone experiments
+// build their own testbeds out of the Runner's sight and run unfaulted.
+func (r *Runner) installFaults(s *Sim, tb *Testbed, index int) {
+	if !r.set.faults.Enabled() {
+		return
+	}
+	f := r.set.faults.normalized()
+	plan := fault.Compile(fault.Spec{
+		Seed:        fault.PlanSeed(r.set.seed, index),
+		Nodes:       len(tb.Nodes),
+		Flaps:       f.Flaps,
+		LossWindows: f.LossWindows,
+		Corrupts:    f.Corrupts,
+		Blackholes:  f.Blackholes,
+		Reboots:     f.Reboots,
+		LossP:       f.LossP,
+		Horizon:     f.Horizon,
+	})
+	nodes := make([]fault.NodeFaults, len(tb.Nodes))
+	for i, n := range tb.Nodes {
+		nodes[i] = fault.NodeFaults{
+			WAN:    n.WANLink(),
+			Reboot: n.Dev.Reboot,
+		}
+	}
+	plan.Install(s, nodes)
 }
 
 // emitDevice serializes per-device fleet callbacks.
