@@ -146,3 +146,48 @@ func TestBenchTrajectory(t *testing.T) {
 		}
 	}
 }
+
+// TestReuseTrajectory gates the DESIGN.md §15 reuse stack on the
+// committed record: from PR 10 on, every trajectory carries the
+// hgwload reuse rows, and the floors hold — a restart-warm re-submit
+// at least 50x faster than its cold run (persistent result cache) and
+// a grown fleet at least 4x faster than its cold control (shard
+// memoization). The rows are wall-clock measurements of the same
+// machine within one hgwload invocation, so the ratios are
+// machine-independent even though the absolute numbers are not.
+func TestReuseTrajectory(t *testing.T) {
+	paths := benchTrajectories(t)
+	if len(paths) == 0 {
+		t.Skip("no BENCH_pr*.json trajectories committed")
+	}
+	newestPath := paths[len(paths)-1]
+	pr, _ := strconv.Atoi(regexp.MustCompile(`\d+`).FindString(filepath.Base(newestPath)))
+	if pr < 10 {
+		t.Skipf("newest trajectory %s predates the reuse stack", newestPath)
+	}
+	newest := loadBench(t, newestPath)
+
+	row := func(name string) benchRow {
+		r, ok := newest[name]
+		if !ok {
+			t.Fatalf("%s lacks %s; regenerate with hgwload -scenario reuse -benchjson", newestPath, name)
+		}
+		if r.Err != "" {
+			t.Fatalf("%s: %s recorded an error: %q", newestPath, name, r.Err)
+		}
+		return r
+	}
+	cold := row("hgwload/reuse/cold")
+	warm := row("hgwload/reuse/warm_disk")
+	memoRun := row("hgwload/reuse/memo")
+	memoCold := row("hgwload/reuse/memo_cold")
+
+	if cold.NsPerOp < 50*warm.NsPerOp {
+		t.Errorf("%s: restart-warm re-submit only %.1fx faster than cold (%d vs %d ns), want >= 50x",
+			newestPath, float64(cold.NsPerOp)/float64(warm.NsPerOp), cold.NsPerOp, warm.NsPerOp)
+	}
+	if memoCold.NsPerOp < 4*memoRun.NsPerOp {
+		t.Errorf("%s: grown-fleet memo run only %.1fx faster than its cold control (%d vs %d ns), want >= 4x",
+			newestPath, float64(memoCold.NsPerOp)/float64(memoRun.NsPerOp), memoCold.NsPerOp, memoRun.NsPerOp)
+	}
+}

@@ -10,9 +10,17 @@
 //	curl -X POST localhost:8080/v1/jobs \
 //	     -d '{"ids":["udp3"],"seed":1,"fleet":1000,"shards":8,"faults":{"rate":0.5}}'
 //	curl localhost:8080/v1/jobs/job-1
+//	curl -X DELETE localhost:8080/v1/jobs/job-1   # cancel (single-flight aware)
 //	curl localhost:8080/v1/jobs/job-1/stream
 //	curl localhost:8080/v1/stats
 //	curl localhost:8080/metrics              # Prometheus exposition
+//
+// -cache-dir persists the reuse stack (DESIGN.md §15): completed
+// results and fleet shard memos are written as content-addressed,
+// checksummed files and served across restarts. Identical jobs
+// submitted while one is in flight coalesce onto that execution
+// instead of enqueuing. An unusable cache dir degrades the daemon to
+// memory-only with a logged warning.
 //
 // The optional "faults" spec field turns on deterministic fault
 // injection for the job; all-zero (or absent) fault specs leave the
@@ -50,13 +58,21 @@ func main() {
 	workers := flag.Int("workers", 2, "worker pool size (concurrent jobs)")
 	queue := flag.Int("queue", 16, "job queue depth (submissions past it get 429)")
 	cache := flag.Int("cache", 64, "result cache capacity in completed runs (LRU)")
+	cacheDir := flag.String("cache-dir", "", "persist completed results and fleet shard memos under this directory (survives restarts; empty = memory-only)")
 	pprofOn := flag.Bool("pprof", false, "serve profiling handlers under /debug/pprof/")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue, CacheEntries: *cache})
+	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue,
+		CacheEntries: *cache, CacheDir: *cacheDir})
+	// Degradations (an unusable -cache-dir runs memory-only) are warnings,
+	// not fatals: a gateway fleet's measurement plane should keep serving
+	// even when its disk does not.
+	for _, warn := range svc.Warnings() {
+		log.Printf("hgwd: warning: %s", warn)
+	}
 	svc.Start(ctx)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -89,8 +105,12 @@ func main() {
 		}
 	}()
 
-	log.Printf("hgwd: listening on %s (%d workers, queue %d, cache %d)",
-		ln.Addr(), *workers, *queue, *cache)
+	dirDesc := *cacheDir
+	if dirDesc == "" {
+		dirDesc = "memory-only"
+	}
+	log.Printf("hgwd: listening on %s (%d workers, queue %d, cache %d, cache-dir %s)",
+		ln.Addr(), *workers, *queue, *cache, dirDesc)
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("hgwd: serve: %v", err)
 	}

@@ -54,3 +54,19 @@ func TestDetLintCoversSimCore(t *testing.T) {
 		}
 	}
 }
+
+// TestLintCoversMemo pins the reuse stack (DESIGN.md §15) into the
+// analyzers' coverage: internal/memo sits on the read/compute path of
+// memoized runs, so a wall clock or an obs read-back there would be
+// nondeterminism served from cache — the worst kind, because it
+// replays. poollint needs no pin: it has no exemption list and covers
+// the module wholesale.
+func TestLintCoversMemo(t *testing.T) {
+	const pkg = "hgw/internal/memo"
+	if detExempted(pkg) {
+		t.Errorf("%s is exempt from detlint; the memo path must stay covered", pkg)
+	}
+	if obsExempted(pkg) {
+		t.Errorf("%s is exempt from obslint; memo may only write obs counters, never read them", pkg)
+	}
+}

@@ -87,6 +87,10 @@ var obsWriteAllowed = map[string]bool{
 	"SimProcDown": true,
 	"ShardUp":     true,
 	"ShardDown":   true,
+	"MemoHit":     true,
+	"MemoMiss":    true,
+	"DiskHit":     true,
+	"Coalesce":    true,
 }
 
 func runObsLint(pass *Pass) error {

@@ -1,0 +1,200 @@
+// Package memo is the content-addressed blob store behind the reuse
+// stack (DESIGN.md §15): an in-memory LRU front tier over an optional
+// disk tier of checksummed files. Keys are caller-derived content
+// hashes (hgw.CacheKey for whole runs, hgw.ShardKey for fleet shards),
+// so a hit is byte-identical reuse by construction — the store never
+// interprets blobs, it only moves them.
+//
+// The package is deterministic on the read/compute path — no wall
+// clock, no global rand — so it sits inside detlint's coverage.
+// Recency for LRU ordering comes from a logical access counter, not
+// timestamps.
+package memo
+
+import (
+	"container/list"
+	"sync"
+
+	"hgw/internal/obs"
+)
+
+// Config bounds a Store. Zero values select the defaults; Dir == ""
+// runs memory-only.
+type Config struct {
+	// MaxEntries / MaxBytes bound the in-memory tier (defaults 512
+	// entries, 256 MiB).
+	MaxEntries int
+	MaxBytes   int64
+	// Dir, when non-empty, enables the disk tier rooted there. The
+	// directory is created if missing.
+	Dir string
+	// MaxDiskEntries / MaxDiskBytes bound the disk tier (defaults 4096
+	// entries, 1 GiB).
+	MaxDiskEntries int
+	MaxDiskBytes   int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 512
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 256 << 20
+	}
+	if c.MaxDiskEntries <= 0 {
+		c.MaxDiskEntries = 4096
+	}
+	if c.MaxDiskBytes <= 0 {
+		c.MaxDiskBytes = 1 << 30
+	}
+	return c
+}
+
+// Store is the two-tier blob cache. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	cfg   Config
+	ll    *list.List // of *memEntry; front = most recently used
+	byKey map[string]*list.Element
+	bytes int64
+	disk  *Disk // nil when memory-only
+
+	memHits  uint64
+	diskHits uint64
+	misses   uint64
+	puts     uint64
+}
+
+type memEntry struct {
+	key  string
+	blob []byte
+}
+
+// Open builds a Store from cfg. When the disk tier cannot be opened
+// (unwritable or unusable Dir), Open still returns a working
+// memory-only Store alongside the error, so callers can degrade
+// gracefully: log the error, keep the store.
+func Open(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	s := &Store{
+		cfg:   cfg,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+	if cfg.Dir == "" {
+		return s, nil
+	}
+	d, err := OpenDisk(cfg.Dir, cfg.MaxDiskEntries, cfg.MaxDiskBytes)
+	if err != nil {
+		return s, err
+	}
+	s.disk = d
+	return s, nil
+}
+
+// Get returns the blob stored under key. A disk-tier hit is promoted
+// into the memory tier. The returned slice is shared — callers must
+// not mutate it.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[key]; ok {
+		s.ll.MoveToFront(el)
+		s.memHits++
+		obs.Proc.MemoHit()
+		return el.Value.(*memEntry).blob, true
+	}
+	if s.disk != nil {
+		if blob, ok := s.disk.Get(key); ok {
+			s.insert(key, blob)
+			s.diskHits++
+			obs.Proc.MemoHit()
+			return blob, true
+		}
+	}
+	s.misses++
+	obs.Proc.MemoMiss()
+	return nil, false
+}
+
+// Put stores blob under key in both tiers. Blobs are content-addressed
+// so a re-Put of an existing key only refreshes recency.
+func (s *Store) Put(key string, blob []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	if el, ok := s.byKey[key]; ok {
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.insert(key, blob)
+	if s.disk != nil {
+		s.disk.Put(key, blob)
+	}
+}
+
+// insert adds key to the memory tier and evicts past the bounds.
+// Callers hold s.mu.
+func (s *Store) insert(key string, blob []byte) {
+	s.byKey[key] = s.ll.PushFront(&memEntry{key: key, blob: blob})
+	s.bytes += int64(len(blob))
+	for s.ll.Len() > 1 && (s.ll.Len() > s.cfg.MaxEntries || s.bytes > s.cfg.MaxBytes) {
+		el := s.ll.Back()
+		ent := el.Value.(*memEntry)
+		s.ll.Remove(el)
+		delete(s.byKey, ent.key)
+		s.bytes -= int64(len(ent.blob))
+	}
+}
+
+// Flush persists the disk tier's LRU index. A no-op when memory-only.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disk == nil {
+		return nil
+	}
+	return s.disk.Flush()
+}
+
+// Close flushes and releases the disk tier.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disk == nil {
+		return nil
+	}
+	return s.disk.Close()
+}
+
+// StoreStats is the read-side counter block, surfaced on /v1/stats.
+type StoreStats struct {
+	MemHits  uint64 `json:"mem_hits"`
+	DiskHits uint64 `json:"disk_hits"`
+	Misses   uint64 `json:"misses"`
+	Puts     uint64 `json:"puts"`
+	Entries  int    `json:"entries"`
+	Bytes    int64  `json:"bytes"`
+
+	Disk *DiskStats `json:"disk,omitempty"`
+}
+
+// Stats snapshots the store's counters and sizes.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		MemHits:  s.memHits,
+		DiskHits: s.diskHits,
+		Misses:   s.misses,
+		Puts:     s.puts,
+		Entries:  s.ll.Len(),
+		Bytes:    s.bytes,
+	}
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		st.Disk = &ds
+	}
+	return st
+}

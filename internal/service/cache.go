@@ -2,18 +2,27 @@ package service
 
 import (
 	"container/list"
+	"encoding/json"
 	"sync"
 
 	"hgw"
+	"hgw/internal/memo"
 )
 
 // CacheStats is a point-in-time snapshot of the result cache's
-// counters, served by GET /v1/stats.
+// counters, served by GET /v1/stats. Hits counts the in-memory tier;
+// DiskHits counts entries read back from the persistent tier (across a
+// restart, or after memory eviction) — a disk hit is still a cache
+// answer, just a slower one.
 type CacheStats struct {
-	Hits     uint64 `json:"hits"`
-	Misses   uint64 `json:"misses"`
-	Entries  int    `json:"entries"`
-	Capacity int    `json:"capacity"`
+	Hits        uint64 `json:"hits"`
+	DiskHits    uint64 `json:"disk_hits"`
+	Misses      uint64 `json:"misses"`
+	Entries     int    `json:"entries"`
+	Capacity    int    `json:"capacity"`
+	DiskEntries int    `json:"disk_entries,omitempty"`
+	DiskBytes   int64  `json:"disk_bytes,omitempty"`
+	DiskCorrupt uint64 `json:"disk_corrupt,omitempty"`
 }
 
 // cacheEntry is one completed run, stored under its hgw.CacheKey
@@ -27,56 +36,84 @@ type cacheEntry struct {
 	events  []hgw.DeviceEvent
 }
 
-// resultCache is a content-addressed LRU of completed run outputs.
-// Because hgw.Run output is a pure function of the cache key's inputs,
-// entries never go stale: eviction exists only to bound memory.
-type resultCache struct {
-	mu     sync.Mutex
-	max    int
-	ll     *list.List // front = most recently used; values are *cacheEntry
-	byKey  map[string]*list.Element
-	hits   uint64
-	misses uint64
+// diskEnvelope is a cacheEntry's on-disk JSON form. Results is a
+// RawMessage so the canonical bytes round-trip the disk verbatim: a
+// restart serves exactly what the original run marshalled.
+type diskEnvelope struct {
+	Results json.RawMessage   `json:"results"`
+	Events  []hgw.DeviceEvent `json:"events,omitempty"`
 }
 
-func newResultCache(max int) *resultCache {
-	return &resultCache{max: max, ll: list.New(), byKey: map[string]*list.Element{}}
+// resultCache is a content-addressed LRU of completed run outputs,
+// optionally backed by a memo.Disk tier (-cache-dir) so completed work
+// survives restarts. Because hgw.Run output is a pure function of the
+// cache key's inputs, entries never go stale: eviction exists only to
+// bound memory, and a disk blob written by a previous process is as
+// valid as one written by this one.
+type resultCache struct {
+	mu       sync.Mutex
+	max      int
+	ll       *list.List // front = most recently used; values are *cacheEntry
+	byKey    map[string]*list.Element
+	disk     *memo.Disk // nil when memory-only
+	hits     uint64
+	diskHits uint64
+	misses   uint64
+}
+
+func newResultCache(max int, disk *memo.Disk) *resultCache {
+	return &resultCache{max: max, ll: list.New(), byKey: map[string]*list.Element{}, disk: disk}
 }
 
 // get looks key up, counting a hit or miss and refreshing recency.
 // Submit-path lookups use it; the per-worker recheck uses peek so a
 // queued duplicate doesn't double-count a miss.
 func (c *resultCache) get(key string) (*cacheEntry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
-	if !ok {
-		c.misses++
-		return nil, false
-	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry), true
+	return c.lookup(key, true)
 }
 
-// peek is get without counter updates (recency still refreshes): the
-// worker's pre-run recheck for jobs that were queued while an identical
-// job was in flight.
+// peek is get without hit/miss counter updates (recency still
+// refreshes, and a disk-tier read still counts — it happened): the
+// worker's pre-run recheck for flights that were queued while an
+// identical flight was running.
 func (c *resultCache) peek(key string) (*cacheEntry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
-	if !ok {
-		return nil, false
-	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry), true
+	return c.lookup(key, false)
 }
 
-// put stores e, evicting from the least recently used end past max
-// entries. Storing an already-present key refreshes its recency and
-// keeps the existing bytes (equal by construction — the key is a
-// content address).
+func (c *resultCache) lookup(key string, count bool) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		if count {
+			c.hits++
+		}
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry), true
+	}
+	if c.disk != nil {
+		if blob, ok := c.disk.Get(key); ok {
+			var env diskEnvelope
+			// A checksummed blob that fails to parse was written by an
+			// incompatible build: treated as a miss, overwritten by the
+			// re-run's put.
+			if json.Unmarshal(blob, &env) == nil && len(env.Results) > 0 {
+				e := &cacheEntry{key: key, results: env.Results, events: env.Events}
+				c.insert(e)
+				c.diskHits++
+				return e, true
+			}
+		}
+	}
+	if count {
+		c.misses++
+	}
+	return nil, false
+}
+
+// put stores e in both tiers, evicting the memory tier from the least
+// recently used end past max entries. Storing an already-present key
+// refreshes its recency and keeps the existing bytes (equal by
+// construction — the key is a content address).
 func (c *resultCache) put(e *cacheEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -84,6 +121,17 @@ func (c *resultCache) put(e *cacheEntry) {
 		c.ll.MoveToFront(el)
 		return
 	}
+	c.insert(e)
+	if c.disk != nil {
+		if blob, err := json.Marshal(diskEnvelope{Results: e.results, Events: e.events}); err == nil {
+			c.disk.Put(e.key, blob)
+		}
+	}
+}
+
+// insert adds e to the memory tier and evicts past max. Callers hold
+// c.mu.
+func (c *resultCache) insert(e *cacheEntry) {
 	c.byKey[e.key] = c.ll.PushFront(e)
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
@@ -92,8 +140,27 @@ func (c *resultCache) put(e *cacheEntry) {
 	}
 }
 
+// close flushes the disk tier's LRU index (Service.Shutdown calls it,
+// so recency survives restarts).
+func (c *resultCache) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.disk == nil {
+		return nil
+	}
+	return c.disk.Close()
+}
+
 func (c *resultCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.max}
+	st := CacheStats{Hits: c.hits, DiskHits: c.diskHits, Misses: c.misses,
+		Entries: c.ll.Len(), Capacity: c.max}
+	if c.disk != nil {
+		ds := c.disk.Stats()
+		st.DiskEntries = ds.Entries
+		st.DiskBytes = ds.Bytes
+		st.DiskCorrupt = ds.Corrupt
+	}
+	return st
 }

@@ -19,10 +19,14 @@ import (
 //	                          full, 503 shutting down
 //	GET  /v1/jobs             every job, newest last (without results)
 //	GET  /v1/jobs/{id}        one job, including its Results bytes
+//	DELETE /v1/jobs/{id}      cancel one job; a coalesced subscriber
+//	                          detaches without disturbing the shared
+//	                          execution (404 unknown, 409 already
+//	                          terminal)
 //	GET  /v1/jobs/{id}/stream NDJSON: one hgw.DeviceEvent per device
 //	                          row, streamed live while the job runs and
 //	                          replayed verbatim for cached jobs
-//	GET  /v1/stats            cache/queue/worker counters
+//	GET  /v1/stats            cache/memo/coalesce/queue/worker counters
 //	GET  /metrics             Prometheus text exposition (see metrics.go)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -30,6 +34,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -100,6 +105,21 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, apiError{"unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeJSON(w, http.StatusNotFound, apiError{"unknown job " + r.PathValue("id")})
+		return
+	case errors.Is(err, ErrJobTerminal):
+		// Losing the race to completion is not an error worth retrying:
+		// report the terminal snapshot with a conflict status.
+		writeJSON(w, http.StatusConflict, job.Snapshot())
 		return
 	}
 	writeJSON(w, http.StatusOK, job.Snapshot())

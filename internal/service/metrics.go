@@ -30,9 +30,20 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 
 	counter("hgwd_cache_hits_total", "Jobs answered from the content-addressed result cache.", st.Cache.Hits)
+	counter("hgwd_cache_disk_hits_total", "Jobs answered from the persistent result tier (across restarts or memory eviction).", st.Cache.DiskHits)
 	counter("hgwd_cache_misses_total", "Jobs that missed the result cache and ran.", st.Cache.Misses)
 	gauge("hgwd_cache_entries", "Completed runs currently held in the result cache.", float64(st.Cache.Entries))
 	gauge("hgwd_cache_capacity", "Result cache capacity in entries.", float64(st.Cache.Capacity))
+	gauge("hgwd_cache_disk_entries", "Completed runs held in the persistent result tier.", float64(st.Cache.DiskEntries))
+	gauge("hgwd_cache_disk_bytes", "Bytes held in the persistent result tier.", float64(st.Cache.DiskBytes))
+	counter("hgwd_cache_disk_corrupt_total", "Persistent-tier blobs that failed their checksum and were served as misses.", st.Cache.DiskCorrupt)
+	counter("hgwd_coalesced_total", "Submissions attached to an identical in-flight execution (single-flight).", st.Coalesced)
+	counter("hgwd_jobs_executed_total", "Flights that actually entered hgw.Run (requests minus every flavor of reuse).", st.JobsExecuted)
+	counter("hgwd_memo_hits_total", "Fleet shards served from the memo store instead of simulated.", st.Memo.MemHits+st.Memo.DiskHits)
+	counter("hgwd_memo_disk_hits_total", "Memo hits read back from the persistent shard tier.", st.Memo.DiskHits)
+	counter("hgwd_memo_misses_total", "Memo lookups that executed and recorded their shard.", st.Memo.Misses)
+	gauge("hgwd_memo_entries", "Shard blobs held in the memo store's memory tier.", float64(st.Memo.Entries))
+	gauge("hgwd_memo_bytes", "Bytes held in the memo store's memory tier.", float64(st.Memo.Bytes))
 	gauge("hgwd_queue_depth", "Jobs waiting for a worker.", float64(st.QueueDepth))
 	gauge("hgwd_queue_capacity", "Job queue capacity.", float64(st.QueueCapacity))
 	gauge("hgwd_workers", "Size of the worker pool.", float64(st.Workers))

@@ -13,11 +13,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hgw"
+	"hgw/internal/memo"
 	"hgw/internal/obs"
 )
 
@@ -109,16 +111,22 @@ type Job struct {
 	// Spec is the request as submitted.
 	Spec Spec
 
-	mu       sync.Mutex
-	cond     *sync.Cond // broadcast on event append and on finish
-	status   Status
-	errText  string
-	cached   bool
-	results  json.RawMessage
-	events   []hgw.DeviceEvent
-	elapsed  time.Duration // wall time spent in hgw.Run (0 for cache hits)
-	done     chan struct{} // closed when the job reaches a terminal state
-	submitAt time.Time
+	// fl is the execution this job rides on (nil for cache hits).
+	// Written while the job is registered under Service.mu and read by
+	// Cancel under the same lock.
+	fl *flight
+
+	mu        sync.Mutex
+	cond      *sync.Cond // broadcast on event append and on finish
+	status    Status
+	errText   string
+	cached    bool
+	coalesced bool // attached to an already-in-flight execution
+	results   json.RawMessage
+	events    []hgw.DeviceEvent
+	elapsed   time.Duration // wall time spent in hgw.Run (0 for cache hits)
+	done      chan struct{} // closed when the job reaches a terminal state
+	submitAt  time.Time
 }
 
 func newJob(id, key string, spec Spec) *Job {
@@ -151,11 +159,32 @@ func (j *Job) setRunning() bool {
 }
 
 // appendEvent buffers one streamed device row and wakes stream readers.
+// Terminal jobs (a subscriber canceled mid-flight) stop accumulating.
 func (j *Job) appendEvent(ev hgw.DeviceEvent) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.status.terminal() {
+		return
+	}
 	j.events = append(j.events, ev)
 	j.cond.Broadcast()
+}
+
+// replayEvents delivers the rows a flight streamed before this job
+// attached, so late subscribers see the full deterministic sequence.
+func (j *Job) replayEvents(evs []hgw.DeviceEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, evs...)
+	j.cond.Broadcast()
+}
+
+// markCoalesced records that the job attached to an in-flight
+// execution rather than scheduling its own.
+func (j *Job) markCoalesced() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.coalesced = true
 }
 
 // finish moves the job to a terminal state exactly once.
@@ -212,6 +241,7 @@ type View struct {
 	Status    Status          `json:"status"`
 	Error     string          `json:"error,omitempty"`
 	Cached    bool            `json:"cached"`
+	Coalesced bool            `json:"coalesced,omitempty"`
 	ElapsedMS float64         `json:"elapsed_ms"`
 	Devices   int             `json:"devices"`
 	Results   json.RawMessage `json:"results,omitempty"`
@@ -228,13 +258,111 @@ func (j *Job) Snapshot() View {
 		Status:    j.status,
 		Error:     j.errText,
 		Cached:    j.cached,
+		Coalesced: j.coalesced,
 		ElapsedMS: float64(j.elapsed) / float64(time.Millisecond),
 		Devices:   len(j.events),
 		Results:   j.results,
 	}
 }
 
-// Errors Submit returns besides invalid-spec errors from hgw.CacheKey.
+// flight is one scheduled execution of a cache key, shared by every
+// job submitted with that key while it is queued or running
+// (single-flight, DESIGN.md §15). Members attach and detach under
+// fl.mu; the execution is cancelled only when every member has
+// detached — a subscriber's cancel never cancels the leader, and a
+// leader's cancel promotes the surviving subscribers. Lock order:
+// Service.mu → flight.mu → Job.mu.
+type flight struct {
+	key  string
+	spec Spec
+
+	// ctx is a child of the service context; cancel interrupts the
+	// execution (hgw.Run aborts mid-simulation) once no member wants it.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	running bool
+	done    bool
+	members []*Job
+	events  []hgw.DeviceEvent // rows streamed so far, replayed to late attachers
+}
+
+func newFlight(parent context.Context, key string, spec Spec) *flight {
+	ctx, cancel := context.WithCancel(parent)
+	return &flight{key: key, spec: spec, ctx: ctx, cancel: cancel}
+}
+
+// attach adds j as a member, replaying already-streamed rows and the
+// running state. It reports false when the flight has already
+// completed — the caller falls back to the cache or a fresh flight.
+func (fl *flight) attach(j *Job) bool {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.done {
+		return false
+	}
+	fl.members = append(fl.members, j)
+	j.fl = fl
+	if len(fl.events) > 0 {
+		j.replayEvents(fl.events)
+	}
+	if fl.running {
+		j.setRunning()
+	}
+	return true
+}
+
+// detach removes j from the member list. It reports true when the
+// flight now has no members and has not completed: the caller owns
+// cancelling it.
+func (fl *flight) detach(j *Job) bool {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	for i, m := range fl.members {
+		if m == j {
+			fl.members = append(fl.members[:i], fl.members[i+1:]...)
+			break
+		}
+	}
+	return len(fl.members) == 0 && !fl.done
+}
+
+// emit buffers one streamed device row and fans it out to every
+// current member (the worker installs it as the run's device callback).
+func (fl *flight) emit(ev hgw.DeviceEvent) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	fl.events = append(fl.events, ev)
+	for _, j := range fl.members {
+		j.appendEvent(ev)
+	}
+}
+
+// markRunning flips the flight and every member to running.
+func (fl *flight) markRunning() {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	fl.running = true
+	for _, j := range fl.members {
+		j.setRunning()
+	}
+}
+
+// complete marks the flight done and hands back the members to finish.
+// After complete, attach refuses — late identical submissions take the
+// cache path or a fresh flight.
+func (fl *flight) complete() []*Job {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	fl.done = true
+	members := fl.members
+	fl.members = nil
+	return members
+}
+
+// Errors Submit and Cancel return besides invalid-spec errors from
+// hgw.CacheKey.
 var (
 	// ErrQueueFull reports a bounded queue with no room; clients retry
 	// later (HTTP 429).
@@ -242,6 +370,12 @@ var (
 	// ErrStopped reports a submission to a service that is shutting
 	// down or was never started (HTTP 503).
 	ErrStopped = errors.New("service: not accepting jobs")
+	// ErrUnknownJob reports a Cancel of an id the service never issued
+	// (HTTP 404).
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrJobTerminal reports a Cancel of a job that already finished
+	// (HTTP 409).
+	ErrJobTerminal = errors.New("service: job already in a terminal state")
 )
 
 // Config sizes the service. Zero fields take the defaults.
@@ -255,6 +389,13 @@ type Config struct {
 	// CacheEntries bounds the content-addressed result cache (default
 	// 64 completed runs; LRU eviction).
 	CacheEntries int
+	// CacheDir, when non-empty, persists completed work there: the
+	// result cache's entries under CacheDir/results and the fleet shard
+	// memo store under CacheDir/shards, both content-addressed,
+	// checksummed and atomically written, so they survive restarts. An
+	// unusable (e.g. read-only) directory degrades the service to
+	// memory-only — recorded in Warnings, never fatal.
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -271,14 +412,21 @@ func (c Config) withDefaults() Config {
 }
 
 // Stats is the service-wide counter snapshot served by GET /v1/stats.
+// The reuse stack is fully observable here: Cache covers both result
+// tiers, Memo the shard memo store, Coalesced the submissions that
+// attached to an in-flight execution, and JobsExecuted the runs that
+// actually hit a worker — requests minus every flavor of reuse.
 type Stats struct {
-	Cache         CacheStats     `json:"cache"`
-	QueueDepth    int            `json:"queue_depth"`
-	QueueCapacity int            `json:"queue_capacity"`
-	Workers       int            `json:"workers"`
-	WorkersBusy   int            `json:"workers_busy"`
-	UptimeMS      float64        `json:"uptime_ms"`
-	Jobs          map[Status]int `json:"jobs"`
+	Cache         CacheStats      `json:"cache"`
+	Memo          memo.StoreStats `json:"memo"`
+	Coalesced     uint64          `json:"coalesced"`
+	JobsExecuted  uint64          `json:"jobs_executed"`
+	QueueDepth    int             `json:"queue_depth"`
+	QueueCapacity int             `json:"queue_capacity"`
+	Workers       int             `json:"workers"`
+	WorkersBusy   int             `json:"workers_busy"`
+	UptimeMS      float64         `json:"uptime_ms"`
+	Jobs          map[Status]int  `json:"jobs"`
 }
 
 // allStatuses lists every job lifecycle state, for stable rendering of
@@ -289,34 +437,70 @@ var allStatuses = []Status{StatusQueued, StatusRunning, StatusDone, StatusFailed
 // Service is the measurement daemon's core: queue, workers and cache.
 // Create with New, begin draining with Start, stop with Shutdown.
 type Service struct {
-	cfg   Config
-	cache *resultCache
-	queue chan *Job
+	cfg      Config
+	cache    *resultCache
+	memo     *hgw.MemoStore // shard-level memo for fleet jobs
+	queue    chan *flight
+	warnings []string // startup degradations (read-only cache dir)
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // insertion order, for Jobs()
-	nextID int
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // insertion order, for Jobs()
+	flights map[string]*flight
+	nextID  int
 
 	ctx      context.Context
 	cancel   context.CancelFunc
 	wg       sync.WaitGroup
 	stopOnce sync.Once
 
-	started time.Time       // set by Start; zero until then
-	busy    atomic.Int64    // workers currently inside hgw.Run
-	jobDur  obs.AtomicHisto // wall durations of actually-executed jobs
+	started   time.Time       // set by Start; zero until then
+	busy      atomic.Int64    // workers currently inside hgw.Run
+	coalesced atomic.Uint64   // submissions attached to an in-flight execution
+	executed  atomic.Uint64   // flights that actually entered hgw.Run
+	jobDur    obs.AtomicHisto // wall durations of actually-executed jobs
 }
 
-// New builds a Service from cfg. Jobs are not accepted until Start.
+// New builds a Service from cfg. Jobs are not accepted until Start. An
+// unusable CacheDir never fails construction: the affected tier runs
+// memory-only and the condition lands in Warnings for the operator.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
-		cfg:   cfg,
-		cache: newResultCache(cfg.CacheEntries),
-		queue: make(chan *Job, cfg.QueueDepth),
-		jobs:  map[string]*Job{},
+	s := &Service{
+		cfg:     cfg,
+		queue:   make(chan *flight, cfg.QueueDepth),
+		jobs:    map[string]*Job{},
+		flights: map[string]*flight{},
 	}
+	var resultDisk *memo.Disk
+	if cfg.CacheDir != "" {
+		d, err := memo.OpenDisk(filepath.Join(cfg.CacheDir, "results"), 0, 0)
+		if err != nil {
+			s.warnings = append(s.warnings,
+				fmt.Sprintf("persistent result cache disabled, running memory-only: %v", err))
+		} else {
+			resultDisk = d
+		}
+	}
+	s.cache = newResultCache(cfg.CacheEntries, resultDisk)
+	memoCfg := hgw.MemoConfig{}
+	if cfg.CacheDir != "" {
+		memoCfg.Dir = filepath.Join(cfg.CacheDir, "shards")
+	}
+	store, err := hgw.OpenMemo(memoCfg)
+	if err != nil {
+		s.warnings = append(s.warnings,
+			fmt.Sprintf("shard memo disk tier disabled, running memory-only: %v", err))
+	}
+	s.memo = store
+	return s
+}
+
+// Warnings returns the degradations New tolerated (e.g. a read-only
+// cache dir). Operators surface these in logs; the service is healthy
+// but forgets on restart.
+func (s *Service) Warnings() []string {
+	return append([]string(nil), s.warnings...)
 }
 
 // Start spawns the worker pool. Cancelling ctx has the same effect as
@@ -336,9 +520,12 @@ func (s *Service) Start(ctx context.Context) {
 	}
 }
 
-// Submit validates and registers a job. A cache hit completes the job
-// synchronously from the stored bytes; otherwise the job is enqueued
-// FIFO, failing with ErrQueueFull when the queue is at capacity.
+// Submit validates and registers a job, serving it by the cheapest
+// means available: a cache hit (either tier) completes the job
+// synchronously from the stored bytes; an identical in-flight
+// execution absorbs the job as a coalesced subscriber; otherwise a new
+// flight is enqueued FIFO, failing with ErrQueueFull when the queue is
+// at capacity.
 func (s *Service) Submit(spec Spec) (*Job, error) {
 	s.mu.Lock()
 	ctx := s.ctx
@@ -365,20 +552,65 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 	}
 	s.nextID++
 	job := newJob(fmt.Sprintf("job-%d", s.nextID), key, spec)
-	if e, ok := s.cache.get(key); ok {
+	register := func() {
 		s.jobs[job.ID] = job
 		s.order = append(s.order, job.ID)
+	}
+	if e, ok := s.cache.get(key); ok {
+		register()
 		job.finish(StatusDone, e.results, e.events, true, 0, "")
 		return job, nil
 	}
+	// Single-flight: an identical key already queued or running absorbs
+	// this job. attach can refuse — the flight may complete between the
+	// cache miss above and here — in which case a fresh flight is
+	// scheduled (its worker-side cache recheck will still find the
+	// fresh results).
+	if fl := s.flights[key]; fl != nil && fl.attach(job) {
+		job.markCoalesced()
+		s.coalesced.Add(1)
+		obs.Proc.Coalesce()
+		register()
+		return job, nil
+	}
+	fl := newFlight(s.ctx, key, spec)
 	select {
-	case s.queue <- job:
-		s.jobs[job.ID] = job
-		s.order = append(s.order, job.ID)
+	case s.queue <- fl:
+		fl.attach(job)
+		s.flights[key] = fl
+		register()
 		return job, nil
 	default:
+		fl.cancel() // release the child context; the flight never ran
 		return nil, ErrQueueFull
 	}
+}
+
+// Cancel cancels one job. A coalesced subscriber detaches without
+// disturbing the shared execution; only when the last member of a
+// flight cancels is the execution itself interrupted (a queued flight
+// is abandoned, a running one aborts mid-simulation). Cancelling a
+// terminal job returns ErrJobTerminal alongside the job.
+func (s *Service) Cancel(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	if j.Status().terminal() {
+		return j, ErrJobTerminal
+	}
+	if fl := j.fl; fl != nil && fl.detach(j) {
+		// Last member gone: nobody wants this execution anymore.
+		fl.cancel()
+		fl.complete()
+		if s.flights[fl.key] == fl {
+			delete(s.flights, fl.key)
+		}
+	}
+	j.finish(StatusCanceled, nil, nil, false, 0, "canceled by client")
+	return j, nil
 }
 
 // Job returns a submitted job by id.
@@ -404,6 +636,9 @@ func (s *Service) Jobs() []*Job {
 func (s *Service) Stats() Stats {
 	st := Stats{
 		Cache:         s.cache.stats(),
+		Memo:          s.memo.Stats(),
+		Coalesced:     s.coalesced.Load(),
+		JobsExecuted:  s.executed.Load(),
 		QueueDepth:    len(s.queue),
 		QueueCapacity: cap(s.queue),
 		Workers:       s.cfg.Workers,
@@ -441,17 +676,27 @@ func (s *Service) Shutdown() {
 		cancel()
 		s.wg.Wait()
 		// Drain under the same lock Submit enqueues under (see Submit),
-		// so no job can slip into the queue after the drain.
+		// so no flight can slip into the queue after the drain.
 		s.mu.Lock()
-		defer s.mu.Unlock()
+	drain:
 		for {
 			select {
-			case job := <-s.queue:
-				job.finish(StatusCanceled, nil, nil, false, 0, "service shut down before the job ran")
+			case fl := <-s.queue:
+				if s.flights[fl.key] == fl {
+					delete(s.flights, fl.key)
+				}
+				for _, job := range fl.complete() {
+					job.finish(StatusCanceled, nil, nil, false, 0, "service shut down before the job ran")
+				}
 			default:
-				return
+				break drain
 			}
 		}
+		s.mu.Unlock()
+		// Flush the persistent tiers' LRU indexes so recency — and the
+		// blobs themselves — survive into the next process.
+		s.cache.close()
+		s.memo.Close()
 	})
 }
 
@@ -487,54 +732,86 @@ func (s *Service) worker() {
 		select {
 		case <-s.ctx.Done():
 			return
-		case job := <-s.queue:
-			s.runJob(job)
+		case fl := <-s.queue:
+			s.runFlight(fl)
 		}
 	}
 }
 
-// runJob executes one job through hgw.Run and stores the marshalled
-// results under the job's content address.
-func (s *Service) runJob(job *Job) {
+// unpublish removes fl from the live-flight table if it is still the
+// published flight for its key (a later flight may have replaced it).
+func (s *Service) unpublish(fl *flight) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.flights[fl.key] == fl {
+		delete(s.flights, fl.key)
+	}
+}
+
+// runFlight executes one flight through hgw.Run, stores the marshalled
+// results under its content address, and finishes every member with
+// the same bytes.
+func (s *Service) runFlight(fl *flight) {
+	finishAll := func(status Status, results json.RawMessage, events []hgw.DeviceEvent,
+		cached bool, elapsed time.Duration, errText string) {
+		// Completion order matters: seal the flight (attach starts
+		// refusing), unpublish it, release its context, then finish the
+		// members. A concurrent identical Submit either attached before
+		// the seal (and is in members) or schedules a fresh flight whose
+		// worker-side cache recheck finds these results.
+		members := fl.complete()
+		s.unpublish(fl)
+		fl.cancel()
+		for _, j := range members {
+			j.finish(status, results, events, cached, elapsed, errText)
+		}
+	}
 	if s.ctx.Err() != nil {
-		job.finish(StatusCanceled, nil, nil, false, 0, "service shut down before the job ran")
+		finishAll(StatusCanceled, nil, nil, false, 0, "service shut down before the job ran")
 		return
 	}
-	// An identical job may have completed while this one sat in the
+	if fl.ctx.Err() != nil {
+		// Every member detached while the flight sat in the queue.
+		finishAll(StatusCanceled, nil, nil, false, 0, "canceled by client")
+		return
+	}
+	// An identical flight may have completed while this one sat in the
 	// queue; serve the stored bytes instead of recomputing.
-	if e, ok := s.cache.peek(job.Key); ok {
-		job.finish(StatusDone, e.results, e.events, true, 0, "")
+	if e, ok := s.cache.peek(fl.key); ok {
+		finishAll(StatusDone, e.results, e.events, true, 0, "")
 		return
 	}
-	if !job.setRunning() {
-		return
-	}
+	fl.markRunning()
 	s.busy.Add(1)
 	defer s.busy.Add(-1)
-	opts := job.Spec.options()
-	if job.Spec.Fleet > 0 {
-		opts = append(opts, hgw.WithDeviceResults(job.appendEvent))
+	s.executed.Add(1)
+	opts := fl.spec.options()
+	if fl.spec.Fleet > 0 {
+		opts = append(opts, hgw.WithDeviceResults(fl.emit))
+		// Fleet shards memoize across jobs: a re-run with one shard's
+		// inputs changed re-simulates only that shard.
+		opts = append(opts, hgw.WithShardMemo(s.memo))
 	}
 	start := time.Now()
-	results, err := hgw.Run(s.ctx, job.Spec.IDs, opts...)
+	results, err := hgw.Run(fl.ctx, fl.spec.IDs, opts...)
 	elapsed := time.Since(start)
 	s.jobDur.Observe(elapsed)
 	if err != nil {
 		status := StatusFailed
-		if s.ctx.Err() != nil {
+		if fl.ctx.Err() != nil {
 			status = StatusCanceled
 		}
-		job.finish(status, nil, nil, false, elapsed, err.Error())
+		finishAll(status, nil, nil, false, elapsed, err.Error())
 		return
 	}
 	bytes, err := json.Marshal(results)
 	if err != nil {
-		job.finish(StatusFailed, nil, nil, false, elapsed, "marshal results: "+err.Error())
+		finishAll(StatusFailed, nil, nil, false, elapsed, "marshal results: "+err.Error())
 		return
 	}
-	job.mu.Lock()
-	events := job.events
-	job.mu.Unlock()
-	s.cache.put(&cacheEntry{key: job.Key, results: bytes, events: events})
-	job.finish(StatusDone, bytes, nil, false, elapsed, "")
+	fl.mu.Lock()
+	events := fl.events
+	fl.mu.Unlock()
+	s.cache.put(&cacheEntry{key: fl.key, results: bytes, events: events})
+	finishAll(StatusDone, bytes, nil, false, elapsed, "")
 }

@@ -35,6 +35,7 @@ type settings struct {
 	report      bool
 	reportCB    func(*RunReport)
 	faults      FaultSpec
+	memo        *MemoStore
 }
 
 func newSettings(opts []Option) settings {

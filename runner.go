@@ -516,6 +516,11 @@ type shardBatch struct {
 	devices int
 	err     error
 	skipped bool
+	// memo marks a batch replayed from the memo store; blob is an
+	// executed shard's encoded rows, handed to the merger so only
+	// shards that reach a successful merge populate the store.
+	memo bool
+	blob []byte
 }
 
 // sweepShards streams every fleet shard through the bounded pipeline
@@ -565,6 +570,17 @@ func (r *Runner) sweepShards(ctx context.Context, exps []*Experiment) ([][]stats
 	winSem := make(chan struct{}, window)
 	procSem := make(chan struct{}, procs)
 
+	// With a memo store attached, every shard's content address is
+	// known up front: keys depend only on (settings, shard index,
+	// partition), never on execution.
+	var memoKeys []string
+	if r.set.memo != nil {
+		memoKeys = make([]string, n)
+		for i := 0; i < n; i++ {
+			memoKeys[i] = shardKey(r.set, exps, i, bounds[i], bounds[i+1])
+		}
+	}
+
 	work := func(i int, profiles []gateway.Profile) {
 		b := &batches[i]
 		// curExp names the experiment the sweep loop is executing, so a
@@ -590,6 +606,29 @@ func (r *Runner) sweepShards(ctx context.Context, exps []*Experiment) ([][]stats
 				b.pts, b.rows = nil, nil
 			}
 		}()
+		if memoKeys != nil {
+			if blob, ok := r.set.memo.Get(memoKeys[i]); ok {
+				if rows, derr := decodeShardRows(blob, len(exps)); derr == nil {
+					// Memo hit: replay the recorded rows through the same
+					// reduction the cold path uses — no worker slot, no
+					// simulator, byte-identical merge. The window token
+					// still bounds how many replayed batches are resident.
+					r.emit(Progress{Kind: ProgressShard, Shard: i, Index: i, Total: n})
+					b.pts = make([][]stats.DevicePoint, len(exps))
+					for j := range rows {
+						b.pts[j] = pointsFromRows(rows[j])
+					}
+					if r.set.deviceCB != nil {
+						b.rows = rows
+					}
+					b.devices = len(profiles)
+					b.memo = true
+					return
+				}
+				// A blob that no longer decodes (e.g. written by an older
+				// build) is a miss: fall through, re-execute, re-record.
+			}
+		}
 		procSem <- struct{}{}
 		defer func() { <-procSem }()
 		if err := ctx.Err(); err != nil {
@@ -635,6 +674,10 @@ func (r *Runner) sweepShards(ctx context.Context, exps []*Experiment) ([][]stats
 		if r.set.deviceCB != nil {
 			b.rows = make([][]DeviceResult, len(exps))
 		}
+		var memoRows [][]DeviceResult
+		if memoKeys != nil {
+			memoRows = make([][]DeviceResult, len(exps))
+		}
 		for j, e := range exps {
 			curExp = e.ID
 			rows := e.Sweep(&Env{
@@ -650,16 +693,20 @@ func (r *Runner) sweepShards(ctx context.Context, exps []*Experiment) ([][]stats
 			// Reduce rows to points here, matching report.NewFigure's
 			// reduction, so the merge accumulates three floats per
 			// device instead of every raw sample.
-			pts := make([]stats.DevicePoint, 0, len(rows))
-			for _, dr := range rows {
-				if len(dr.Samples) == 0 {
-					continue
-				}
-				pts = append(pts, dr.Point())
-			}
-			b.pts[j] = pts
+			b.pts[j] = pointsFromRows(rows)
 			if b.rows != nil {
 				b.rows[j] = rows
+			}
+			if memoRows != nil {
+				memoRows[j] = rows
+			}
+		}
+		if memoRows != nil {
+			// Encode here (off the merge path), but let the merger do the
+			// Put: only a shard that reaches a successful merge is
+			// recorded, so a cancelled run never persists partial work.
+			if blob, eerr := encodeShardRows(memoRows); eerr == nil {
+				b.blob = blob
 			}
 		}
 		if r.set.report {
@@ -708,6 +755,11 @@ func (r *Runner) sweepShards(ctx context.Context, exps []*Experiment) ([][]stats
 				}
 				pts[j] = append(pts[j], b.pts[j]...)
 			}
+			if b.blob != nil && memoKeys != nil {
+				// Populate from the merge boundary: this shard executed
+				// fully and its rows are now part of the run's output.
+				r.set.memo.Put(memoKeys[i], b.blob)
+			}
 			if b.reg != nil {
 				// The worker is done with the registry (done[i] is
 				// closed); the merger owns it now and stamps the
@@ -722,6 +774,14 @@ func (r *Runner) sweepShards(ctx context.Context, exps []*Experiment) ([][]stats
 					WallMS:   b.wallMS,
 					Metrics:  metricsFromSnapshot(snap),
 					Trace:    traceEntries(snap.Trace),
+				})
+			} else if b.memo && r.set.report {
+				// A memoized shard ran no simulator: its section records
+				// the replay, carrying no metrics or trace.
+				shardReps = append(shardReps, ShardReport{
+					Index:    i,
+					Devices:  b.devices,
+					Memoized: true,
 				})
 			}
 		}

@@ -65,6 +65,10 @@ type ShardReport struct {
 	Metrics MetricsSnapshot `json:"metrics"`
 	// Trace is the shard's sampled event trace, oldest first.
 	Trace []TraceEntry `json:"trace,omitempty"`
+	// Memoized marks a shard served from the memo store
+	// (WithShardMemo): its rows replayed from an earlier execution, so
+	// no simulator ran and the section carries no metrics or trace.
+	Memoized bool `json:"memoized,omitempty"`
 }
 
 // MetricsSnapshot is a registry snapshot in name-keyed form, the shape
